@@ -1,0 +1,74 @@
+"""Ablation: the full baseline ladder.
+
+Orders every placement scheme in the repository on one workload, from
+blind static hashing to perfect knowledge:
+
+  simple-random < two-choice < {weighted variants: static knowledge}
+      < anu (adaptive, no knowledge) <= prescient (perfect knowledge)
+
+The interesting rungs are the *weighted* static variants — an
+administrator hand-configuring capacity weights.  They fix server
+heterogeneity but not workload heterogeneity, which is exactly the
+paper's argument for adaptivity over configuration ("no knowledge of
+hardware capabilities is needed").
+"""
+
+from conftest import quick_mode, run_once
+
+from repro.cluster import ClusterConfig, paper_servers
+from repro.experiments.report import comparison_table
+from repro.experiments.runner import run_policy
+from repro.workloads import SyntheticConfig, generate_synthetic
+
+POLICIES = (
+    "simple-random",
+    "two-choice",
+    "two-choice-weighted",
+    "consistent-hash",
+    "consistent-hash-weighted",
+    "anu",
+    "prescient",
+)
+
+
+def run_all():
+    n_requests = 15_000 if quick_mode() else 40_000
+    duration = 1_500.0 if quick_mode() else 4_000.0
+    trace = generate_synthetic(
+        SyntheticConfig(n_filesets=150, n_requests=n_requests,
+                        duration=duration, seed=9)
+    )
+    cluster = ClusterConfig(servers=paper_servers(), tuning_interval=120.0,
+                            sample_window=60.0, oracle_horizon=duration,
+                            seed=0)
+    return {name: run_policy(name, trace, cluster) for name in POLICIES}
+
+
+def steady_worst(res) -> float:
+    return max(res.series.tail_window_mean(s, 10) for s in res.series.servers)
+
+
+def test_baseline_ladder(benchmark):
+    results = run_once(benchmark, run_all)
+    print()
+    print("Baseline ladder (synthetic workload, steady-state ordering)")
+    print(comparison_table(results))
+    tails = {name: steady_worst(res) for name, res in results.items()}
+    print("steady-state worst-server tails (ms): "
+          + ", ".join(f"{k}={v * 1000:.1f}" for k, v in sorted(
+              tails.items(), key=lambda kv: kv[1])))
+
+    # Static knowledge helps but does not reach adaptive territory: ANU's
+    # steady state beats every static rung, and prescient's overall mean
+    # beats every static mean (its *tail* deliberately keeps the slow
+    # server busy — LPT equalizes utilization, not idleness).
+    static = ("simple-random", "two-choice", "two-choice-weighted",
+              "consistent-hash", "consistent-hash-weighted")
+    assert tails["anu"] < min(tails[name] for name in static)
+    assert results["prescient"].mean_latency < min(
+        results[name].mean_latency for name in static
+    )
+    # Weighted variants beat their unweighted versions (server
+    # heterogeneity addressed)...
+    assert tails["two-choice-weighted"] <= tails["two-choice"]
+    assert tails["consistent-hash-weighted"] <= tails["consistent-hash"]

@@ -1,0 +1,47 @@
+"""Ablation: load-balance bounds — ANU vs simple randomization.
+
+§4: ANU keeps each server's load within a small constant of the mean with
+high probability, "compar[ing] favorably to simple randomization in which
+load is bounded by [a log n / log log n factor]".  This bench Monte-Carlos
+simple randomization's normalized max load for growing n and contrasts it
+with ANU's post-tuning normalized max, which stays flat.
+"""
+
+from conftest import quick_mode, run_once
+
+from repro.theory import (
+    anu_normalized_max_after_tuning,
+    simulate_simple_randomization,
+)
+
+SIZES = ((5, 500), (20, 2000), (80, 8000))
+
+
+def sweep():
+    trials = 5 if quick_mode() else 20
+    rows = []
+    for n, m in SIZES:
+        simple = simulate_simple_randomization(n, m, trials=trials)
+        anu = anu_normalized_max_after_tuning(n, m, rounds=25)
+        rows.append((n, m, simple.mean_normalized_max,
+                     simple.predicted_normalized_max, anu))
+    return rows
+
+
+def test_balls_into_bins_bounds(benchmark):
+    rows = run_once(benchmark, sweep)
+    print()
+    print("Ablation: normalized max load (max/mean), m/n = 100 file sets/server")
+    print(f"{'n':>4s} {'m':>6s} {'simple(sim)':>12s} {'simple(theory)':>15s} {'ANU(tuned)':>11s}")
+    for n, m, sim, theory, anu in rows:
+        print(f"{n:4d} {m:6d} {sim:12.3f} {theory:15.3f} {anu:11.3f}")
+
+    simple_by_n = {n: sim for n, _, sim, _, _ in rows}
+    anu_by_n = {n: anu for n, _, _, _, anu in rows}
+    # Simple randomization's imbalance grows with n...
+    assert simple_by_n[80] > simple_by_n[5]
+    # ...while tuned ANU stays within a small constant, independent of n.
+    assert all(v < 1.35 for v in anu_by_n.values())
+    # And ANU beats simple randomization at every size.
+    for n in anu_by_n:
+        assert anu_by_n[n] < simple_by_n[n]

@@ -1,0 +1,40 @@
+"""Ablation: centralized delegate vs pair-wise decentralized tuning (§5).
+
+The paper's future work replaces the delegate's global rescaling with
+pair-wise peer exchanges.  This bench runs both on the synthetic workload:
+the decentralized variant must reach the same latency regime (it converges
+more slowly — fewer servers interact per round) while exchanging only
+pair-local information.
+"""
+
+from conftest import quick_mode, run_once
+
+from repro.cluster.cluster import ClusterSimulation
+from repro.experiments.config import figure8
+from repro.experiments.runner import generate_trace, make_policy
+
+
+def sweep():
+    config = figure8(quick=quick_mode())
+    trace = generate_trace(config.workload_config())
+    rows = []
+    for name in ("anu", "anu-decentralized", "round-robin"):
+        res = ClusterSimulation(config.cluster, make_policy(name), trace).run()
+        worst = max(res.series.mean_over_run(s) for s in res.series.servers)
+        rows.append((name, res.mean_latency, worst, res.moves_started))
+    return rows
+
+
+def test_decentralized_vs_central(benchmark):
+    rows = run_once(benchmark, sweep)
+    print()
+    print("Ablation: central delegate vs pair-wise tuning (synthetic workload)")
+    print(f"{'policy':>20s} {'mean(ms)':>10s} {'worst(ms)':>10s} {'moves':>7s}")
+    for name, mean, worst, moves in rows:
+        print(f"{name:>20s} {mean * 1000:10.2f} {worst * 1000:10.2f} {moves:7d}")
+
+    by_name = {name: (mean, worst) for name, mean, worst, _ in rows}
+    static_mean = by_name["round-robin"][0]
+    # Both ANU variants handle the heterogeneity the static policy cannot.
+    assert by_name["anu"][0] < static_mean / 3
+    assert by_name["anu-decentralized"][0] < static_mean / 2

@@ -1,0 +1,47 @@
+"""Ablation: the tuning-interval length.
+
+§7: "we found two minutes to strike a balance between over-tuning and
+responsiveness.  We note that it takes five to ten seconds to move a file
+set..."  This bench sweeps the interval on the bursty DFSTrace-like
+workload: very short intervals chase noise (more moves), very long ones
+react too slowly (higher worst-server latency during convergence).
+"""
+
+from dataclasses import replace
+
+from conftest import quick_mode, run_once
+
+from repro.cluster.cluster import ClusterSimulation
+from repro.experiments.config import figure6
+from repro.experiments.runner import generate_trace
+from repro.placement.anu_policy import ANUPolicy
+
+INTERVALS = (30.0, 120.0, 600.0)
+
+
+def sweep():
+    config = figure6(quick=quick_mode())
+    trace = generate_trace(config.workload_config())
+    rows = []
+    for interval in INTERVALS:
+        cluster = replace(config.cluster, tuning_interval=interval)
+        res = ClusterSimulation(cluster, ANUPolicy(), trace).run()
+        worst = max(res.series.mean_over_run(s) for s in res.series.servers)
+        rows.append((interval, res.mean_latency, worst, res.moves_started))
+    return rows
+
+
+def test_tuning_interval_sweep(benchmark):
+    rows = run_once(benchmark, sweep)
+    print()
+    print("Ablation: tuning interval (DFSTrace-like workload)")
+    print(f"{'interval(s)':>12s} {'mean(ms)':>10s} {'worst(ms)':>10s} {'moves':>7s}")
+    for interval, mean, worst, moves in rows:
+        print(f"{interval:12.0f} {mean * 1000:10.2f} {worst * 1000:10.2f} {moves:7d}")
+
+    by_iv = {iv: (mean, worst, moves) for iv, mean, worst, moves in rows}
+    # Shorter intervals reconfigure more.
+    assert by_iv[30.0][2] >= by_iv[600.0][2]
+    # The paper's 2-minute choice is not worse than the extremes on mean
+    # latency (ties allowed: the assertion is about the same regime).
+    assert by_iv[120.0][0] <= 3 * min(m for m, _, _ in by_iv.values())

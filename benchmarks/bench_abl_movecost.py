@@ -1,0 +1,59 @@
+"""Ablation: the cost of moving a file set.
+
+§7: "it takes five to ten seconds to move a file set ... Therefore, our
+system is relatively conservative in moving data in response to short-term
+bursts."  This bench sweeps the move-cost model — free moves, the paper's
+5-10 s + cold cache, and a punitive 30-60 s — and shows how the cost of
+reconfiguration shapes what adaptivity is worth: expensive moves hurt the
+transient but ANU's conservative movement keeps the steady state intact.
+"""
+
+from dataclasses import replace
+
+from conftest import quick_mode, run_once
+
+from repro.cluster import ClusterConfig, MoveCostModel, paper_servers
+from repro.cluster.cluster import ClusterSimulation
+from repro.placement import ANUPolicy
+from repro.workloads import SyntheticConfig, generate_synthetic
+
+MODELS = {
+    "free": MoveCostModel(0.0, 0.0, 0, 1.0),
+    "paper (5-10s, cold x2)": MoveCostModel(5.0, 10.0, 32, 2.0),
+    "punitive (30-60s, cold x4)": MoveCostModel(30.0, 60.0, 128, 4.0),
+}
+
+
+def sweep():
+    n_requests = 15_000 if quick_mode() else 40_000
+    duration = 1_500.0 if quick_mode() else 4_000.0
+    trace = generate_synthetic(
+        SyntheticConfig(n_filesets=120, n_requests=n_requests,
+                        duration=duration, seed=4)
+    )
+    base = ClusterConfig(servers=paper_servers(), tuning_interval=120.0,
+                         sample_window=60.0, seed=0)
+    rows = []
+    for name, model in MODELS.items():
+        cluster = replace(base, move_cost=model)
+        res = ClusterSimulation(cluster, ANUPolicy(), trace).run()
+        steady = max(
+            res.series.tail_window_mean(s, 10) for s in res.series.servers
+        )
+        rows.append((name, res.mean_latency, steady, res.moves_started))
+    return rows
+
+
+def test_move_cost_sweep(benchmark):
+    rows = run_once(benchmark, sweep)
+    print()
+    print("Ablation: move-cost model (ANU, synthetic workload)")
+    print(f"{'model':>28s} {'mean(ms)':>10s} {'steady-worst(ms)':>17s} {'moves':>7s}")
+    for name, mean, steady, moves in rows:
+        print(f"{name:>28s} {mean * 1000:10.2f} {steady * 1000:17.2f} {moves:7d}")
+
+    by_name = {name: (mean, steady) for name, mean, steady, _ in rows}
+    # Steady state survives even punitive move costs (conservative moving).
+    assert by_name["punitive (30-60s, cold x4)"][1] < 0.15
+    # Costlier moves cannot *improve* the mean.
+    assert by_name["free"][0] <= by_name["punitive (30-60s, cold x4)"][0] * 1.5

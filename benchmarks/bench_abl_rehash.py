@@ -1,0 +1,47 @@
+"""Ablation: re-hashing rounds k and the direct-to-server fallback.
+
+§4: file sets unassigned after k rounds are hashed directly to a server;
+this "bounds the number of rounds and does not introduce significant skew
+... because it occurs with low probability, 2^-k.  On average, the system
+requires two probes to assign a file set."  This bench measures mean probe
+count and fallback fraction across k.
+"""
+
+from conftest import run_once
+
+from repro.core import ANUPlacement, HashFamily
+
+NAMES = [f"fs{i:05d}" for i in range(20_000)]
+ROUNDS = (2, 4, 8, 12)
+
+
+def sweep():
+    rows = []
+    for k in ROUNDS:
+        placement = ANUPlacement(
+            [f"s{i}" for i in range(5)], hash_family=HashFamily(max_rounds=k)
+        )
+        probes = []
+        fallbacks = 0
+        for name in NAMES:
+            _, used = placement.locate_with_rounds(name)
+            probes.append(min(used, k))
+            if used == k + 1:
+                fallbacks += 1
+        rows.append((k, sum(probes) / len(probes), fallbacks / len(NAMES)))
+    return rows
+
+
+def test_rehash_rounds(benchmark):
+    rows = run_once(benchmark, sweep)
+    print()
+    print("Ablation: probe rounds k (5 servers, half occupancy)")
+    print(f"{'k':>4s} {'mean probes':>12s} {'fallback frac':>14s} {'2^-k':>9s}")
+    for k, mean_probes, frac in rows:
+        print(f"{k:4d} {mean_probes:12.3f} {frac:14.5f} {2.0**-k:9.5f}")
+
+    for k, mean_probes, frac in rows:
+        # Fallback probability tracks 2^-k.
+        assert abs(frac - 2.0**-k) < max(3 * 2.0**-k, 0.01)
+        # Expected probes ~ 2 (geometric, p = 1/2), capped by k.
+        assert mean_probes < 2.3

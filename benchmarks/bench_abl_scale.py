@@ -1,0 +1,36 @@
+"""Ablation: scaling the cluster (the paper's "previously unmanageable
+sizes" claim).
+
+Sweeps cluster size 5..80 (heterogeneous speeds, skewed file sets) and
+measures what must stay flat or shrink for the claim to hold:
+
+- probes per locate ~ 2, independent of n (hash addressing);
+- membership-change movement ~ the newcomer's fair share 1/n (locality);
+- replicated state (partitions, segments) O(n), not O(file sets);
+- capacity-normalized balance within a small constant after tuning.
+"""
+
+from conftest import quick_mode, run_once
+
+from repro.experiments.scale import scale_study, scale_table
+
+
+def test_scale_study(benchmark):
+    sizes = (5, 10, 20) if quick_mode() else (5, 10, 20, 40, 80)
+    points = run_once(benchmark, scale_study, sizes=sizes)
+
+    print()
+    print("Scale study: 50 skewed file sets per server, speeds 1/3/5/7/9 cycled")
+    print(scale_table(points))
+
+    by_n = {pt.n_servers: pt for pt in points}
+    largest, smallest = max(by_n), min(by_n)
+    # Addressing stays ~2 probes regardless of size.
+    assert all(1.7 < pt.mean_probes < 2.3 for pt in points)
+    # Movement on add shrinks roughly like 1/n.
+    assert by_n[largest].add_moved_fraction < by_n[smallest].add_moved_fraction
+    assert by_n[largest].add_moved_fraction < 3.0 / largest + 0.05
+    # Replicated state is O(n): segments per server stay bounded.
+    assert all(pt.segments < 4 * pt.n_servers for pt in points)
+    # Balance holds within a small constant at every size.
+    assert all(pt.balance_cov < 0.6 for pt in points)

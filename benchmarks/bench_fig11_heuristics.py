@@ -1,0 +1,47 @@
+"""Figure 11: the three over-tuning heuristics, decomposed.
+
+Each panel of the paper's figure runs exactly one heuristic:
+
+- thresholding alone stabilizes mid-range servers but the weakest server
+  still fluctuates above and below the threshold;
+- top-off alone is "the single most effective": it tunes the weakest server
+  down to no workload and only trims latency peaks;
+- divergent alone reaches balance, but more slowly than all three combined.
+"""
+
+from conftest import quick_mode, run_once
+
+from repro.experiments.figures import run_figure
+from repro.experiments.report import render_experiment
+
+
+def test_fig11_heuristics_decomposed(benchmark):
+    config, results = run_once(benchmark, run_figure, "fig11", quick=quick_mode())
+    print()
+    print(render_experiment(config.experiment_id, config.description, results))
+
+    threshold = results["anu-threshold-only"]
+    top_off = results["anu-top-off-only"]
+    divergent = results["anu-divergent-only"]
+
+    # Every single-heuristic variant still completes the workload and
+    # reaches a usable balance (means in the tens of ms, not static-policy
+    # hundreds).
+    for res in (threshold, top_off, divergent):
+        assert res.total_requests == threshold.total_requests
+        assert res.mean_latency < 0.2
+
+    # Top-off parks the weakest server: its steady-state share of requests
+    # is the smallest across the three variants.
+    def weak_tail_share(res):
+        tail = {s: float(res.series.counts[s][-10:].sum()) for s in res.series.servers}
+        total = sum(tail.values()) or 1.0
+        return tail["server0"] / total
+
+    shares = {
+        "threshold": weak_tail_share(threshold),
+        "top-off": weak_tail_share(top_off),
+        "divergent": weak_tail_share(divergent),
+    }
+    print(f"\nweakest-server steady-state request share: {shares}")
+    assert shares["top-off"] <= min(shares["threshold"], shares["divergent"]) + 0.02

@@ -1,0 +1,88 @@
+"""Microbenchmarks of the file-system substrate.
+
+Quantifies the §2/§5 cost story at the metadata level: operations are
+cheap in-memory tree updates; the expensive part of reconfiguration is the
+shared-disk image flush/load (which is why the paper's system moves file
+sets conservatively); lock grant/release is O(1).
+"""
+
+import pytest
+
+from repro.fs import (
+    FsWorkloadConfig,
+    LockManager,
+    LockMode,
+    MetadataCluster,
+    Namespace,
+    SharedDisk,
+    generate_operations,
+)
+
+
+def build_namespace(n_dirs: int = 16, files_per_dir: int = 64) -> Namespace:
+    ns = Namespace("bench")
+    for d in range(n_dirs):
+        ns.mkdir(f"/d{d:02d}")
+        for f in range(files_per_dir):
+            ns.create(f"/d{d:02d}/f{f:03d}")
+    return ns
+
+
+def test_metadata_op_throughput(benchmark):
+    """stat+readdir+create+unlink cycle on a ~1000-node namespace."""
+    ns = build_namespace()
+    counter = {"i": 0}
+
+    def cycle():
+        i = counter["i"] = counter["i"] + 1
+        ns.stat("/d00/f000")
+        ns.readdir("/d01")
+        ns.create(f"/d02/new{i}")
+        ns.unlink(f"/d02/new{i}")
+
+    benchmark(cycle)
+
+
+def test_image_flush_load_cost(benchmark):
+    """Serialize + load a ~1000-node file-set image — the per-move cost."""
+    disk = SharedDisk()
+    ns = build_namespace()
+    disk.format_fileset(ns)
+
+    def flush_load():
+        disk.flush(ns, server="s1")
+        disk.load("bench")
+
+    benchmark(flush_load)
+
+
+def test_lock_grant_release_cost(benchmark):
+    lm = LockManager()
+    counter = {"i": 0}
+
+    def cycle():
+        i = counter["i"] = counter["i"] + 1
+        path = f"/f{i % 100}"
+        lm.acquire("c1", path, LockMode.EXCLUSIVE)
+        lm.release("c1", path)
+
+    benchmark(cycle)
+
+
+@pytest.mark.parametrize("n_filesets", [8, 64])
+def test_semantic_op_routing_cost(benchmark, n_filesets):
+    """Full path->file set->owner->execute round trip."""
+    roots = {f"fs{i}": f"/v{i}" for i in range(n_filesets)}
+    cluster = MetadataCluster(["a", "b", "c"], roots)
+    ops = generate_operations(
+        cluster, FsWorkloadConfig(n_operations=500, duration=10.0, seed=1)
+    )
+    benchmark.extra_info["n_filesets"] = n_filesets
+    idx = {"i": 0}
+
+    def submit_one():
+        op = ops[idx["i"] % len(ops)]
+        idx["i"] += 1
+        cluster.submit(op)
+
+    benchmark(submit_one)

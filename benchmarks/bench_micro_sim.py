@@ -1,0 +1,71 @@
+"""Microbenchmarks of the discrete-event engine itself.
+
+The figure runs replay ~10^5–10^6 events; these benches record the
+engine's raw throughput so regressions in the substrate are visible
+independently of the algorithms running on it.
+"""
+
+from repro.sim import Engine, Facility
+
+
+def test_event_scheduling_throughput(benchmark):
+    """Schedule+fire cost of a bare event."""
+
+    def run_chunk():
+        engine = Engine()
+        for i in range(1000):
+            engine.schedule(float(i), lambda: None)
+        engine.run()
+
+    benchmark(run_chunk)
+
+
+def test_chained_event_throughput(benchmark):
+    """Self-rescheduling event chains (the arrival-pump pattern)."""
+
+    def run_chain():
+        engine = Engine()
+        remaining = [1000]
+
+        def tick():
+            remaining[0] -= 1
+            if remaining[0] > 0:
+                engine.schedule(1.0, tick)
+
+        engine.schedule(0.0, tick)
+        engine.run()
+
+    benchmark(run_chain)
+
+
+def test_facility_queueing_throughput(benchmark):
+    """Request->serve->complete cycles through a FIFO facility."""
+
+    def run_queue():
+        engine = Engine()
+        fac = Facility(engine, "f")
+        for i in range(1000):
+            engine.schedule_at(float(i), fac.request, 0.5, lambda: None)
+        engine.run()
+
+    benchmark(run_queue)
+
+
+def test_cluster_simulation_events_per_second(benchmark):
+    """End-to-end events/s of a small cluster run (reported as extra)."""
+    from repro.cluster import ClusterConfig, ClusterSimulation, paper_servers
+    from repro.placement import RoundRobinPolicy
+    from repro.workloads import SyntheticConfig, generate_synthetic
+
+    trace = generate_synthetic(
+        SyntheticConfig(n_filesets=30, n_requests=5000, duration=500.0)
+    )
+    cfg = ClusterConfig(servers=paper_servers(), seed=0)
+
+    def run_sim():
+        sim = ClusterSimulation(cfg, RoundRobinPolicy(), trace)
+        sim.run()
+        return sim.engine.events_fired
+
+    events = benchmark(run_sim)
+    benchmark.extra_info["events_fired"] = events

@@ -1,0 +1,85 @@
+"""Protocol ablation: delegate fail-over time and loss tolerance.
+
+The paper's availability argument (§4) rests on the delegate protocol
+being cheap to fail over (stateless) and tolerant of an imperfect network.
+This bench measures (a) how long a cluster is without an agreed delegate
+after a crash and (b) how message loss degrades tuning-round completion.
+"""
+
+from conftest import run_once
+
+from repro.core.tuning import ServerReport
+from repro.proto import ControlPlane, NetworkConfig, ProtocolConfig
+
+FAST = ProtocolConfig(
+    heartbeat_interval=0.5,
+    heartbeat_timeout=1.6,
+    election_timeout=0.3,
+    report_timeout=0.3,
+    tuning_interval=2.0,
+)
+
+
+def skewed(name: str, now: float) -> ServerReport:
+    return ServerReport(name, 0.5 if name == "node00" else 0.05, 100)
+
+
+def failover_times(trials: int = 10) -> list[float]:
+    times = []
+    for seed in range(trials):
+        cp = ControlPlane(5, seed=seed, protocol_config=FAST,
+                          latency_model=skewed)
+        cp.start()
+        cp.run_until(5.0)
+        victim = cp.current_delegate()
+        assert victim is not None
+        cp.crash(victim)
+        crash_time = cp.engine.now
+        # Step until a majority agrees on a new delegate.
+        while cp.engine.now < crash_time + 60.0:
+            cp.run_until(cp.engine.now + 0.25)
+            new = cp.current_delegate()
+            if new is not None and new != victim:
+                break
+        times.append(cp.engine.now - crash_time)
+    return times
+
+
+def loss_sweep() -> list[tuple[float, int, bool]]:
+    rows = []
+    for loss in (0.0, 0.1, 0.3):
+        cp = ControlPlane(
+            5, seed=3, protocol_config=FAST, latency_model=skewed,
+            network_config=NetworkConfig(min_latency=0.001,
+                                         max_latency=0.01, loss=loss),
+        )
+        cp.start()
+        cp.run_until(60.0)
+        delegate = cp.current_delegate()
+        rounds = max(n.rounds_run for n in cp.nodes.values())
+        tuned = all(
+            n.shares.get("node00", 1.0) < n.shares.get("node04", 1.0)
+            for n in cp.nodes.values()
+            if n.alive and n.shares
+        )
+        rows.append((loss, rounds, tuned and delegate is not None))
+    return rows
+
+
+def test_failover_and_loss(benchmark):
+    times, rows = run_once(benchmark, lambda: (failover_times(), loss_sweep()))
+
+    print()
+    print("Protocol: delegate fail-over time (crash -> majority agreement)")
+    print(f"  trials={len(times)} mean={sum(times)/len(times):.2f}s "
+          f"max={max(times):.2f}s (heartbeat timeout {FAST.heartbeat_timeout}s)")
+    print("Protocol: tuning under message loss (60 s run)")
+    print(f"{'loss':>6s} {'rounds':>7s} {'slow node tuned down':>22s}")
+    for loss, rounds, ok in rows:
+        print(f"{loss:6.2f} {rounds:7d} {str(ok):>22s}")
+
+    # Fail-over completes within a few heartbeat timeouts.
+    assert max(times) < 5 * FAST.heartbeat_timeout
+    # Even at 30% loss, rounds complete and the slow node is shed.
+    assert all(ok for _, _, ok in rows)
+    assert rows[-1][1] >= 5

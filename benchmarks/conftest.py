@@ -1,0 +1,28 @@
+"""Shared helpers for the benchmark suite.
+
+Benchmarks run the paper's experiments at full published scale by default;
+set ``REPRO_BENCH_QUICK=1`` to run the same shapes at reduced scale (CI).
+Each figure bench prints the series/rows the paper's figure plots, so
+``pytest benchmarks/ --benchmark-only`` output doubles as the reproduction
+record (EXPERIMENTS.md quotes it).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def quick_mode() -> bool:
+    return os.environ.get("REPRO_BENCH_QUICK", "") == "1"
+
+
+@pytest.fixture(scope="session")
+def quick() -> bool:
+    return quick_mode()
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, rounds=1, iterations=1)

@@ -1,0 +1,53 @@
+"""Online hardware upgrade — future adaptability without configuration.
+
+Run:  python examples/online_upgrade.py
+
+The paper's §1 motivates "upgrading hardware while the system is on-line
+and taking full advantage of faster hardware" with zero administrator
+knowledge.  This example decommissions the slowest server mid-run and
+commissions a replacement that is 9x faster.  ANU never learns the speeds;
+it simply observes latency and grows the newcomer's mapped region until the
+cluster re-balances.
+"""
+
+from repro import ClusterConfig, ClusterSimulation, FaultSchedule, ServerSpec
+from repro.experiments import series_block
+from repro.placement import ANUPolicy
+from repro.workloads import SyntheticConfig, generate_synthetic
+
+
+def main() -> None:
+    servers = tuple(
+        ServerSpec(name=f"server{i}", speed=float(s))
+        for i, s in enumerate([1, 3, 5, 7, 9])
+    )
+    trace = generate_synthetic(
+        SyntheticConfig(n_filesets=120, n_requests=30_000, duration=3_000.0, seed=4)
+    )
+    faults = (
+        FaultSchedule()
+        .decommission(1_000.0, "server0")          # retire the slow box
+        .commission(1_000.0, "server5", speed=9.0)  # rack the new one
+    )
+    cluster = ClusterConfig(servers=servers, tuning_interval=120.0,
+                            sample_window=60.0, seed=3)
+    print(f"workload: {trace}")
+    print("upgrade : at t=1000s replace server0 (speed 1) with server5 (speed 9)\n")
+
+    result = ClusterSimulation(cluster, ANUPolicy(), trace, faults).run()
+
+    print(series_block("[anu across the upgrade]", result.series))
+    print()
+    new_counts = result.series.counts["server5"]
+    before = new_counts[: int(1_000 / result.series.window)].sum()
+    after = new_counts[-5:].sum()
+    print(f"server5 requests before commissioning: {before:.0f} (sanity: 0)")
+    print(f"server5 requests in the last 5 minutes: {after:.0f} — the newcomer")
+    print("was enlisted purely from observed latency; no speed was configured.")
+    print(f"\nrequests completed: {result.total_requests} / {len(trace)}")
+    print(f"file-set moves: {result.moves_started} "
+          f"(placement preservation {result.ledger.preservation:.1%})")
+
+
+if __name__ == "__main__":
+    main()

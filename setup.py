@@ -1,0 +1,11 @@
+"""Setup shim.
+
+All project metadata lives in pyproject.toml.  This file exists only so
+``pip install -e .`` works on environments whose setuptools/pip lack wheel
+support for PEP 660 editable installs (e.g. offline machines without the
+``wheel`` package).
+"""
+
+from setuptools import setup
+
+setup()

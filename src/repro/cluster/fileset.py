@@ -1,0 +1,75 @@
+"""File-set runtime state.
+
+A file set is the paper's indivisible unit of workload assignment: a
+subtree of the global namespace owned by exactly one metadata server at a
+time.  At simulation runtime a file set is either *settled* on its owner or
+*in flight* between servers (the shared-disk move: source flushes its
+cache, destination initializes).
+
+While in flight the *source* keeps serving requests — in a shared-disk
+system ownership transfers only once the flush completes — so a planned
+move costs the destination a cold cache (and delays the load shift by the
+move duration) but does not black out service.  Only when the owner is
+*dead* (failure-triggered moves) do requests buffer here until the move
+completes; those requests pay the full recovery delay, which is how
+failures surface in the latency plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .request import MetadataRequest
+
+
+@dataclass
+class FileSetState:
+    """Runtime state of one file set."""
+
+    name: str
+    owner: str
+    #: True while the file set is moving between servers.
+    moving: bool = False
+    #: Destination of the in-flight move (None when settled).
+    move_target: str | None = None
+    #: Requests buffered during the move.
+    buffer: list[MetadataRequest] = field(default_factory=list)
+    #: Cold-cache grace: number of upcoming requests served at the cold
+    #: multiplier after a move.
+    cold_remaining: int = 0
+    #: Total times this file set has been moved (for movement accounting).
+    moves: int = 0
+
+    def begin_move(self, target: str) -> None:
+        """Mark the file set in flight toward ``target``."""
+        if self.moving:
+            raise ValueError(f"file set {self.name!r} is already moving")
+        if target == self.owner:
+            raise ValueError(f"move of {self.name!r} to its current owner")
+        self.moving = True
+        self.move_target = target
+
+    def finish_move(self, cold_requests: int) -> list[MetadataRequest]:
+        """Settle on the destination; returns the buffered requests."""
+        if not self.moving or self.move_target is None:
+            raise ValueError(f"file set {self.name!r} is not moving")
+        self.owner = self.move_target
+        self.moving = False
+        self.move_target = None
+        self.moves += 1
+        self.cold_remaining = cold_requests
+        drained, self.buffer = self.buffer, []
+        return drained
+
+    def redirect_move(self, target: str) -> None:
+        """Change the in-flight destination (destination server failed)."""
+        if not self.moving:
+            raise ValueError(f"file set {self.name!r} is not moving")
+        self.move_target = target
+
+    def next_cost_multiplier(self, cold_multiplier: float) -> float:
+        """Service-cost multiplier for the next request (cold cache decay)."""
+        if self.cold_remaining > 0:
+            self.cold_remaining -= 1
+            return cold_multiplier
+        return 1.0

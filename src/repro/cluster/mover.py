@@ -1,0 +1,85 @@
+"""Shared-disk file-set movement.
+
+"It takes five to ten seconds to move a file set from one server to
+another in our target system.  The releasing server needs to flush its
+cache, writing all dirty data back to stable storage.  The acquiring server
+must initialize the file set.  Furthermore, the acquiring file server
+starts with a cold cache, which hinders performance initially." (§7)
+
+The mover draws each move's delay uniformly from [min_delay, max_delay],
+marks the file set in flight (requests buffer at
+:class:`repro.cluster.fileset.FileSetState`), and on completion releases
+the buffer to the destination with a cold-cache penalty on the first
+``cold_requests`` requests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.engine import Engine
+from .fileset import FileSetState
+
+
+@dataclass(frozen=True)
+class MoveCostModel:
+    """Cost parameters for moving a file set over the shared disk."""
+
+    min_delay: float = 5.0
+    max_delay: float = 10.0
+    cold_requests: int = 32
+    cold_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.min_delay <= self.max_delay:
+            raise ValueError(
+                f"need 0 <= min_delay <= max_delay, got "
+                f"[{self.min_delay!r}, {self.max_delay!r}]"
+            )
+        if self.cold_requests < 0 or self.cold_multiplier < 1.0:
+            raise ValueError("cold_requests >= 0 and cold_multiplier >= 1 required")
+
+
+#: A zero-cost model for pure-placement experiments (no simulator effects).
+FREE_MOVES = MoveCostModel(min_delay=0.0, max_delay=0.0, cold_requests=0)
+
+
+class FileSetMover:
+    """Schedules and completes file-set moves on the engine."""
+
+    def __init__(
+        self,
+        engine: Engine,
+        cost_model: MoveCostModel,
+        rng: np.random.Generator,
+    ) -> None:
+        self.engine = engine
+        self.cost = cost_model
+        self.rng = rng
+        self.moves_started = 0
+        self.moves_completed = 0
+
+    def sample_delay(self) -> float:
+        """One flush+initialize delay draw from the cost model."""
+        if self.cost.max_delay == self.cost.min_delay:
+            return self.cost.min_delay
+        return float(self.rng.uniform(self.cost.min_delay, self.cost.max_delay))
+
+    def start_move(self, state: FileSetState, target: str, on_complete) -> None:
+        """Begin moving ``state`` to ``target``.
+
+        ``on_complete(state, buffered_requests)`` fires after the move
+        delay; the caller re-dispatches the buffered requests.
+        """
+        state.begin_move(target)
+        self.moves_started += 1
+        delay = self.sample_delay()
+
+        def _finish() -> None:
+            self.moves_completed += 1
+            drained = state.finish_move(self.cost.cold_requests)
+            on_complete(state, drained)
+
+        self.engine.schedule(delay, _finish)

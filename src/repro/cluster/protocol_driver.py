@@ -1,0 +1,200 @@
+"""Cluster simulation tuned through the message-level delegate protocol.
+
+:class:`repro.cluster.ClusterSimulation` normally invokes its policy's
+tuner by direct call — fine for the figures, where protocol latencies
+(milliseconds) vanish against the 2-minute tuning interval.  This module
+closes the loop for the availability story: the same queueing simulation,
+but with tuning driven end-to-end by :mod:`repro.proto` on the *same*
+event engine — heartbeats, elections, report requests and versioned config
+updates all travel the simulated network, and a delegate crash mid-run is
+healed by a real election.
+
+Composition: the cluster runs a passive ANU policy (it owns the placement
+but never tunes); one protocol node per server reads that server's latency
+from the simulation's collector and the elected delegate's config updates
+are applied — exactly once per epoch — as share rescales + file-set moves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+from ..core.anu import ANUPlacement
+from ..core.hashing import HashFamily
+from ..core.tuning import TuningConfig
+from ..placement.base import PlacementPolicy, TuningContext
+from ..proto.network import Network, NetworkConfig
+from ..proto.node import ProtocolConfig, ServerNode
+from ..sim.rng import StreamFactory
+from ..workloads.trace import Trace
+from .cluster import ClusterConfig, ClusterSimulation, RunResult
+
+
+class PassiveANUPolicy(PlacementPolicy):
+    """ANU placement whose tuning is driven externally (by the protocol)."""
+
+    name = "anu-protocol"
+
+    def __init__(self, hash_family: HashFamily | None = None) -> None:
+        self._hash_family = hash_family
+        self.placement: ANUPlacement | None = None
+
+    def initial_assignment(
+        self, filesets: Sequence[str], servers: Sequence[str]
+    ) -> dict[str, str]:
+        self.placement = ANUPlacement(servers, hash_family=self._hash_family)
+        return self.placement.assignment(filesets)
+
+    def update(self, context: TuningContext) -> dict[str, str] | None:
+        return None  # tuning arrives via ConfigUpdate messages instead
+
+    def on_membership_change(
+        self,
+        filesets: Sequence[str],
+        servers: Sequence[str],
+        assignment: Mapping[str, str],
+    ) -> dict[str, str]:
+        placement = self.placement
+        assert placement is not None
+        current = set(placement.servers)
+        target = set(servers)
+        for name in sorted(current - target):
+            placement.remove_server(name)
+        for name in sorted(target - current):
+            placement.add_server(name)
+        return placement.assignment(filesets)
+
+
+@dataclass
+class ProtocolRunResult:
+    """Queueing results plus protocol-level observations."""
+
+    run: RunResult
+    delegate_history: list[tuple[float, str]]
+    config_updates_applied: int
+    messages_sent: int
+    messages_dropped: int
+
+
+class ProtocolDrivenCluster:
+    """Queueing cluster + §4 control plane on one engine."""
+
+    def __init__(
+        self,
+        config: ClusterConfig,
+        trace: Trace,
+        tuning: TuningConfig | None = None,
+        protocol: ProtocolConfig | None = None,
+        network: NetworkConfig | None = None,
+        delegate_crash_times: Sequence[float] = (),
+    ) -> None:
+        self.config = config
+        self.policy = PassiveANUPolicy()
+        self.sim = ClusterSimulation(config, self.policy, trace)
+        factory = StreamFactory(config.seed).spawn("protocol")
+        self.network = Network(self.sim.engine, factory.stream("network"), network)
+        self.protocol = protocol or ProtocolConfig(
+            tuning_interval=config.tuning_interval
+        )
+        self._applied_epoch = -1
+        self.config_updates_applied = 0
+        self.delegate_history: list[tuple[float, str]] = []
+        self.nodes: dict[str, ServerNode] = {}
+        server_names = sorted(self.sim.servers)
+        for i, name in enumerate(server_names):
+            node = ServerNode(
+                name=name,
+                priority=i,
+                engine=self.sim.engine,
+                network=self.network,
+                report_source=self._make_report_source(name),
+                on_config=self._apply_config,
+                config=self.protocol,
+                tuning=tuning,
+                initial_shares={s: 1.0 for s in server_names},
+            )
+            self.nodes[name] = node
+        for t in delegate_crash_times:
+            self.sim.engine.schedule_at(t, self._crash_current_delegate)
+
+    # ------------------------------------------------------------------
+    def _make_report_source(self, name: str):
+        def source():
+            now = self.sim.engine.now
+            interval = self.protocol.tuning_interval
+            return self.sim.collector.interval_report(
+                name, max(0.0, now - interval), now
+            )
+
+        return source
+
+    def _apply_config(self, shares: Mapping[str, float], epoch: int) -> None:
+        """Exactly-once application of a config update to the placement."""
+        if epoch <= self._applied_epoch:
+            return
+        self._applied_epoch = epoch
+        placement = self.policy.placement
+        assert placement is not None
+        live = set(placement.servers)
+        relevant = {k: v for k, v in shares.items() if k in live}
+        # Servers missing from the update keep their current share.
+        current = placement.shares()
+        total_current = sum(current.values()) or 1.0
+        merged = {
+            s: relevant.get(s, current[s] / total_current * len(current))
+            for s in live
+        }
+        if sum(merged.values()) <= 0:
+            return
+        placement.set_shares(merged)
+        placement.check_invariants()
+        self.config_updates_applied += 1
+        old = self.sim.planned_assignment()
+        new = placement.assignment(list(self.sim.trace.fileset_names))
+        self.sim._realize(old, new)
+
+    def _shutdown_protocol(self) -> None:
+        for node in self.nodes.values():
+            if node.alive:
+                node.shutdown()
+
+    def _crash_current_delegate(self) -> None:
+        for name, node in self.nodes.items():
+            if node.is_delegate:
+                node.crash()
+                return
+
+    # ------------------------------------------------------------------
+    def run(self) -> ProtocolRunResult:
+        """Start the protocol nodes and execute the full trace."""
+        for node in self.nodes.values():
+            node.start()
+        self._watch_delegate()
+        # Stop the protocol's self-rescheduling timers when the trace ends
+        # so the queueing drain phase terminates.
+        self.sim.engine.schedule_at(
+            self.sim.trace.duration, self._shutdown_protocol
+        )
+        result = self.sim.run()
+        return ProtocolRunResult(
+            run=result,
+            delegate_history=self.delegate_history,
+            config_updates_applied=self.config_updates_applied,
+            messages_sent=self.network.sent,
+            messages_dropped=self.network.dropped,
+        )
+
+    def _watch_delegate(self) -> None:
+        """Sample the elected delegate once per tuning interval (log)."""
+        current = next(
+            (n for n, node in self.nodes.items() if node.is_delegate), None
+        )
+        if current is not None and (
+            not self.delegate_history or self.delegate_history[-1][1] != current
+        ):
+            self.delegate_history.append((self.sim.engine.now, current))
+        if self.sim.engine.now <= self.sim.trace.duration:
+            self.sim.engine.schedule(
+                self.protocol.tuning_interval / 2, self._watch_delegate
+            )

@@ -1,0 +1,95 @@
+"""Heterogeneous metadata server.
+
+A server has a *speed* — the paper's processing-power scalar (its five-server
+cluster uses speeds 1, 3, 5, 7, 9: "if the least powerful server consumes
+time T to complete a metadata request, then the most powerful consumes
+T/9").  Service time for a request of cost ``c`` (speed-1 seconds) is
+``c * multiplier / speed``, where the multiplier models a cold cache after a
+file-set move.  Queueing is FIFO via :class:`repro.sim.resources.Facility`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.engine import Engine
+from ..sim.resources import Facility
+from .request import MetadataRequest
+
+
+@dataclass(frozen=True)
+class ServerSpec:
+    """Static description of a server."""
+
+    name: str
+    speed: float
+
+    def __post_init__(self) -> None:
+        if self.speed <= 0:
+            raise ValueError(f"speed must be positive, got {self.speed!r}")
+
+
+class MetadataServer:
+    """A metadata server: FIFO facility + speed + liveness."""
+
+    def __init__(self, engine: Engine, spec: ServerSpec) -> None:
+        self.engine = engine
+        self.spec = spec
+        self.facility = Facility(engine, name=spec.name)
+        self.alive = True
+        #: Requests dispatched here and not yet completed (for failure
+        #: re-dispatch).
+        self.outstanding: dict[int, MetadataRequest] = {}
+
+    @property
+    def name(self) -> str:
+        return self.spec.name
+
+    @property
+    def speed(self) -> float:
+        return self.spec.speed
+
+    def service_time(self, request: MetadataRequest, multiplier: float = 1.0) -> float:
+        """Seconds this server needs to serve ``request``."""
+        return request.cost * multiplier / self.speed
+
+    def submit(
+        self,
+        request: MetadataRequest,
+        multiplier: float,
+        on_complete,
+    ) -> None:
+        """Enqueue ``request``; ``on_complete(request)`` fires at completion."""
+        if not self.alive:
+            raise RuntimeError(f"submit to dead server {self.name!r}")
+        self.outstanding[request.rid] = request
+
+        def _done() -> None:
+            self.outstanding.pop(request.rid, None)
+            on_complete(request)
+
+        self.facility.request(self.service_time(request, multiplier), _done)
+
+    def fail(self) -> list[MetadataRequest]:
+        """Crash: abort all queued/in-service work; returns the orphans."""
+        if not self.alive:
+            raise RuntimeError(f"server {self.name!r} already dead")
+        self.alive = False
+        self.facility.fail()
+        orphans = sorted(self.outstanding.values(), key=lambda r: (r.arrival, r.rid))
+        self.outstanding.clear()
+        for request in orphans:
+            request.retries += 1
+        return orphans
+
+    def recover(self) -> None:
+        """Come back up with an empty queue (cache cold; the placement layer
+        charges cold-cache penalties per gained file set)."""
+        if self.alive:
+            raise RuntimeError(f"server {self.name!r} already alive")
+        self.alive = True
+        self.facility.resume_service()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "up" if self.alive else "down"
+        return f"MetadataServer({self.name!r}, speed={self.speed}, {state})"

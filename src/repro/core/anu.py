@@ -1,0 +1,97 @@
+"""ANU (adaptive, non-uniform) randomized placement.
+
+:class:`ANUPlacement` combines the partitioned unit interval
+(:class:`repro.core.interval.MappedInterval`) with the probe-sequence hash
+family (:class:`repro.core.hashing.HashFamily`) into the placement function
+the paper describes in §4:
+
+1. hash the file-set name to a point in the unit interval;
+2. if the point is unmapped, re-hash with the next family member;
+3. after ``max_rounds`` misses (probability ``2**-max_rounds`` under the
+   half-occupancy invariant) hash directly to a server.
+
+Placement is a **pure function** of the current interval state: any node can
+locate any file set by hashing alone, with no per-file-set directory state —
+the scalability property of §5 ("shared state scales with the number of
+servers, rather than the number of file sets").  Consequently, when mapped
+regions are rescaled, the new assignment of every file set is recomputed by
+re-probing; the minimal-movement property is inherited from the interval's
+minimal-movement region updates and is verified empirically by the movement
+benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+from .hashing import HashFamily
+from .interval import MappedInterval
+
+
+class ANUPlacement:
+    """Placement and lookup of file sets onto servers via ANU randomization."""
+
+    def __init__(
+        self,
+        servers: Iterable[str],
+        hash_family: HashFamily | None = None,
+        shares: Mapping[str, float] | None = None,
+    ) -> None:
+        self.interval = MappedInterval(servers, shares)
+        self.hashes = hash_family or HashFamily()
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def locate(self, name: str) -> str:
+        """The server currently responsible for file set ``name``."""
+        server, _rounds = self.locate_with_rounds(name)
+        return server
+
+    def locate_with_rounds(self, name: str) -> tuple[str, int]:
+        """Locate ``name`` and report how many hash probes were used.
+
+        A fallback (direct-to-server) assignment reports
+        ``max_rounds + 1`` probes.
+        """
+        for round_ in range(self.hashes.max_rounds):
+            point = self.hashes.probe(name, round_)
+            owner = self.interval.locate_point(point)
+            if owner is not None:
+                return owner, round_ + 1
+        server = self.hashes.fallback_choice(name, self.interval.servers)
+        return server, self.hashes.max_rounds + 1
+
+    def assignment(self, names: Iterable[str]) -> dict[str, str]:
+        """Assignment of every name in ``names`` under the current state."""
+        return {name: self.locate(name) for name in names}
+
+    # ------------------------------------------------------------------
+    # Reconfiguration (delegates to the interval)
+    # ------------------------------------------------------------------
+    @property
+    def servers(self) -> list[str]:
+        return self.interval.servers
+
+    def shares(self) -> dict[str, int]:
+        """Current mapped-region sizes in interval ticks."""
+        return self.interval.shares()
+
+    def set_shares(self, shares: Mapping[str, float]) -> None:
+        """Rescale mapped regions (minimal movement); see the interval docs."""
+        self.interval.set_shares(shares)
+
+    def add_server(self, name: str, share_fraction: float | None = None) -> None:
+        """Commission or recover a server."""
+        self.interval.add_server(name, share_fraction)
+
+    def remove_server(self, name: str) -> None:
+        """Fail or decommission a server."""
+        self.interval.remove_server(name)
+
+    def check_invariants(self) -> None:
+        """Assert the interval's structural invariants."""
+        self.interval.check_invariants()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ANUPlacement({self.interval!r})"

@@ -1,0 +1,117 @@
+"""Pair-wise decentralized tuning — the paper's §5 future-work direction.
+
+The published algorithm collects latencies at a single elected delegate.
+Section 5 sketches a fully decentralized variant: "replacing centralized
+re-scaling of server mapped regions with pair-wise interactions in which
+servers scale their mapped regions in peer-to-peer exchanges."
+
+This module implements that sketch.  Each round, servers are matched into
+random disjoint pairs; within a pair, share moves from the higher-latency
+server to the lower-latency server by a step proportional to the relative
+latency gap.  Because each exchange conserves the pair's combined share, the
+half-occupancy invariant is preserved globally without any central
+renormalization — exactly the property the decentralization needs.
+
+The same thresholding gate as the central tuner applies within a pair (no
+exchange when the two latencies are within ``(1 ± t)`` of their mean), which
+prevents pair-wise over-tuning.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from .tuning import ServerReport
+
+
+@dataclass(frozen=True)
+class PairwiseConfig:
+    """Knobs for pair-wise tuning.
+
+    Defaults are deliberately damped: exchanges act on one noisy interval's
+    latencies with no global view, so aggressive transfers re-create the
+    paper's over-tuning cycle pair-locally.  The decentralization ablation
+    (``bench_abl_decentralized``) compares against the central delegate.
+    """
+
+    threshold: float = 1.0
+    max_transfer_fraction: float = 0.15  # of the pair's combined share
+    gain: float = 0.3  # how aggressively the latency gap is closed
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.max_transfer_fraction < 1:
+            raise ValueError(
+                f"max_transfer_fraction must be in [0, 1), got "
+                f"{self.max_transfer_fraction!r}"
+            )
+        if self.gain <= 0:
+            raise ValueError(f"gain must be positive, got {self.gain!r}")
+
+
+@dataclass(frozen=True)
+class Exchange:
+    """One pair-wise share transfer (for logging and tests)."""
+
+    donor: str
+    recipient: str
+    amount: float
+
+
+class PairwiseTuner:
+    """Decentralized tuner: random pairing + conservative share exchange."""
+
+    def __init__(self, config: PairwiseConfig | None = None) -> None:
+        self.config = config or PairwiseConfig()
+
+    def pair(self, names: Sequence[str], rng: np.random.Generator) -> list[tuple[str, str]]:
+        """Random disjoint pairing; with odd counts one server sits out."""
+        order = list(names)
+        rng.shuffle(order)
+        return [(order[i], order[i + 1]) for i in range(0, len(order) - 1, 2)]
+
+    def compute(
+        self,
+        current_shares: Mapping[str, float],
+        reports: Sequence[ServerReport],
+        rng: np.random.Generator,
+    ) -> tuple[dict[str, float], list[Exchange]]:
+        """One decentralized round: returns (new shares, exchanges made).
+
+        The sum of the returned shares equals the sum of ``current_shares``
+        exactly (up to float addition), preserving half-occupancy without a
+        central renormalization step.
+        """
+        cfg = self.config
+        by_name = {r.name: r for r in reports}
+        if set(by_name) != set(current_shares):
+            raise ValueError("reports do not match shares")
+        shares = {k: float(v) for k, v in current_shares.items()}
+        exchanges: list[Exchange] = []
+        for a, b in self.pair(sorted(shares), rng):
+            ra, rb = by_name[a], by_name[b]
+            if ra.request_count == 0 and rb.request_count == 0:
+                continue
+            la, lb = ra.mean_latency, rb.mean_latency
+            mean = (la + lb) / 2.0
+            if mean <= 0:
+                continue
+            # Thresholding within the pair.
+            if abs(la - lb) <= cfg.threshold * mean:
+                continue
+            donor, recipient = (a, b) if la > lb else (b, a)
+            gap = abs(la - lb) / (max(la, lb) or 1.0)
+            combined = shares[a] + shares[b]
+            amount = min(
+                cfg.gain * gap * shares[donor],
+                cfg.max_transfer_fraction * combined,
+                shares[donor],
+            )
+            if amount <= 0:
+                continue
+            shares[donor] -= amount
+            shares[recipient] += amount
+            exchanges.append(Exchange(donor=donor, recipient=recipient, amount=amount))
+        return shares, exchanges

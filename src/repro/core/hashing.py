@@ -1,0 +1,88 @@
+"""Deterministic keyed hash family for file-set placement.
+
+ANU randomization needs "an agreed upon family of hash functions" (§4): the
+probe sequence ``h_0(name), h_1(name), ...`` maps a file-set name to points
+in the unit interval; file sets whose probe lands in unmapped space are
+re-hashed with the next family member; after ``max_rounds`` probes the name
+is hashed *directly to a server* instead, bounding the probe count (the miss
+probability per round is exactly the unmapped fraction, 1/2 under the
+half-occupancy invariant, so the fallback triggers with probability
+``2**-max_rounds``).
+
+The family must be:
+
+- deterministic across processes and Python versions (so every server in a
+  cluster computes the same placement) — we therefore use BLAKE2b with a
+  per-round salt rather than Python's randomized ``hash()``;
+- well-mixed — each round is an independent-looking uniform draw on [0, 1).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Sequence
+
+_TWO_64 = float(2**64)
+
+
+def hash64(name: str, round_: int, namespace: str = "anu") -> int:
+    """A 64-bit keyed hash of ``name`` for probe round ``round_``."""
+    if round_ < 0:
+        raise ValueError(f"round must be >= 0, got {round_!r}")
+    key = f"{namespace}|{round_}".encode("utf-8")[:16]
+    digest = hashlib.blake2b(name.encode("utf-8"), digest_size=8, key=key).digest()
+    return int.from_bytes(digest, "little")
+
+
+def hash_to_unit(name: str, round_: int, namespace: str = "anu") -> float:
+    """Map ``name`` to a point in [0, 1) for probe round ``round_``."""
+    return hash64(name, round_, namespace) / _TWO_64
+
+
+def hash_to_choice(name: str, round_: int, n: int, namespace: str = "anu") -> int:
+    """Map ``name`` to an index in [0, n) (the direct-to-server fallback)."""
+    if n <= 0:
+        raise ValueError(f"need at least one choice, got n={n!r}")
+    return hash64(name, round_, namespace) % n
+
+
+class HashFamily:
+    """A bounded probe sequence over the unit interval with server fallback.
+
+    ``probes(name)`` yields the first ``max_rounds`` unit-interval points of
+    the family for ``name``; :meth:`fallback_choice` deterministically picks
+    among the live servers when every probe missed.
+    """
+
+    def __init__(self, max_rounds: int = 8, namespace: str = "anu") -> None:
+        if max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {max_rounds!r}")
+        self.max_rounds = max_rounds
+        self.namespace = namespace
+
+    def probe(self, name: str, round_: int) -> float:
+        """The ``round_``-th probe point for ``name``."""
+        if round_ >= self.max_rounds:
+            raise ValueError(
+                f"round {round_} >= max_rounds {self.max_rounds}; use fallback_choice"
+            )
+        return hash_to_unit(name, round_, self.namespace)
+
+    def probes(self, name: str) -> list[float]:
+        """All probe points for ``name``, in order."""
+        return [hash_to_unit(name, r, self.namespace) for r in range(self.max_rounds)]
+
+    def fallback_choice(self, name: str, candidates: Sequence[str]) -> str:
+        """Deterministic direct-to-server choice among ``candidates``.
+
+        Candidates are sorted first so the choice does not depend on the
+        caller's ordering (every cluster node must agree).
+        """
+        ordered = sorted(candidates)
+        if not ordered:
+            raise ValueError("no candidate servers for fallback")
+        idx = hash_to_choice(name, self.max_rounds, len(ordered), self.namespace)
+        return ordered[idx]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"HashFamily(max_rounds={self.max_rounds}, namespace={self.namespace!r})"

@@ -1,0 +1,106 @@
+"""Command-line entry point: regenerate any figure from the paper.
+
+Usage::
+
+    repro-experiments list
+    repro-experiments fig3 | fig4 | fig5
+    repro-experiments fig6 [--quick] [--seed N] [--csv DIR]
+    repro-experiments scale [--quick]
+    python -m repro.experiments fig8 --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from .config import FIGURES
+from .export import export_experiment
+from .figures import figure3_demo, figure4_demo, figure5_demo, run_figure
+from .report import interval_bar, render_experiment
+from .scale import scale_study, scale_table
+
+_DEMOS = ("fig3", "fig4", "fig5")
+
+
+def _render_demo(experiment_id: str) -> str:
+    if experiment_id == "fig3":
+        demo = figure3_demo()
+        title = "fig3: server heterogeneity (speeds 2,2,1,1; uniform file sets)"
+    elif experiment_id == "fig4":
+        demo = figure4_demo()
+        title = "fig4: workload heterogeneity (uniform servers; skewed file sets)"
+    else:
+        rep = figure5_demo()
+        lines = [
+            "fig5: repartitioning when adding a server",
+            f"  partitions: {rep.partitions_before} -> {rep.partitions_after}",
+            f"  boundaries preserved: {rep.boundaries_preserved}",
+            f"  free partitions after add: {rep.free_partitions_after}",
+        ]
+        return "\n".join(lines)
+    lines = [
+        title,
+        f"  initial shares: "
+        + ", ".join(f"{k}={v:.3f}" for k, v in demo.initial_shares.items()),
+        f"  final shares:   "
+        + ", ".join(f"{k}={v:.3f}" for k, v in demo.final_shares.items()),
+        f"  initial counts: {demo.initial_counts}",
+        f"  final counts:   {demo.final_counts}",
+        f"  iterations: {demo.iterations}, "
+        f"latency spread (max/mean): {demo.final_latency_spread:.2f}",
+        "",
+        interval_bar(demo.placement.interval),
+    ]
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce figures from Wu & Burns, SC'03",
+    )
+    parser.add_argument(
+        "experiment",
+        help="experiment id (fig3..fig11), 'scale', or 'list'",
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller-scale run (same shape)"
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also write per-policy series + summary CSVs to DIR",
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        print("interval demos:", ", ".join(_DEMOS))
+        print("simulations:   ", ", ".join(sorted(FIGURES)))
+        print("studies:        scale")
+        return 0
+    if args.experiment in _DEMOS:
+        print(_render_demo(args.experiment))
+        return 0
+    if args.experiment == "scale":
+        sizes = (5, 10, 20) if args.quick else (5, 10, 20, 40, 80)
+        print("Scale study: balance, addressing, and movement vs cluster size")
+        print(scale_table(scale_study(sizes=sizes, seed=args.seed)))
+        return 0
+    if args.experiment in FIGURES:
+        config, results = run_figure(args.experiment, quick=args.quick, seed=args.seed)
+        print(render_experiment(config.experiment_id, config.description, results))
+        if args.csv:
+            written = export_experiment(config.experiment_id, results, args.csv)
+            print(f"\nwrote {len(written)} CSV file(s) to {args.csv}")
+        return 0
+    parser.error(
+        f"unknown experiment {args.experiment!r}; try 'list'"
+    )
+    return 2  # pragma: no cover - parser.error raises
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

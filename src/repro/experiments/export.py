@@ -1,0 +1,84 @@
+"""CSV export of experiment results.
+
+Downstream users replot the paper's figures with their own tooling; these
+helpers write the windowed latency series and the cross-policy summary as
+plain CSV.  The CLI's ``--csv DIR`` flag uses them.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Mapping
+
+from ..cluster.cluster import RunResult
+from ..metrics.latency import LatencySeries
+
+
+def write_series_csv(series: LatencySeries, path: str | Path) -> Path:
+    """One row per sample window: time plus each server's mean latency
+    (seconds) and request count."""
+    path = Path(path)
+    servers = series.servers
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        header = ["time_s"]
+        for s in servers:
+            header += [f"{s}_latency_s", f"{s}_requests"]
+        writer.writerow(header)
+        for i, t in enumerate(series.times):
+            row: list[float] = [float(t)]
+            for s in servers:
+                row.append(float(series.mean_latency[s][i]))
+                row.append(float(series.counts[s][i]))
+            writer.writerow(row)
+    return path
+
+
+def write_summary_csv(
+    results: Mapping[str, RunResult], path: str | Path
+) -> Path:
+    """One row per policy: the comparison-table numbers."""
+    path = Path(path)
+    with path.open("w", newline="") as fh:
+        writer = csv.writer(fh)
+        writer.writerow([
+            "policy", "mean_latency_s", "worst_server_mean_s",
+            "steady_worst_s", "moves", "tuning_rounds", "preservation",
+            "total_requests",
+        ])
+        for name, res in results.items():
+            worst = max(
+                (res.series.mean_over_run(s) for s in res.series.servers),
+                default=0.0,
+            )
+            steady = max(
+                (res.series.tail_window_mean(s, 10) for s in res.series.servers),
+                default=0.0,
+            )
+            writer.writerow([
+                name, res.mean_latency, worst, steady, res.moves_started,
+                res.tuning_rounds, res.ledger.preservation,
+                res.total_requests,
+            ])
+    return path
+
+
+def export_experiment(
+    experiment_id: str,
+    results: Mapping[str, RunResult],
+    directory: str | Path,
+) -> list[Path]:
+    """Write ``<id>_<policy>.csv`` per policy plus ``<id>_summary.csv``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, res in results.items():
+        safe = name.replace("/", "-")
+        written.append(
+            write_series_csv(res.series, directory / f"{experiment_id}_{safe}.csv")
+        )
+    written.append(
+        write_summary_csv(results, directory / f"{experiment_id}_summary.csv")
+    )
+    return written

@@ -1,0 +1,174 @@
+"""Capacity planning: what hardware does a workload need?
+
+A downstream application of the reproduction: an operator has a measured
+metadata workload (a :class:`repro.workloads.Trace`) and a catalogue of
+candidate cluster configurations; which is the cheapest that meets a
+latency objective — given that ANU randomization will be doing the
+placement?
+
+The planner simulates each candidate (optionally on a thinned copy of the
+trace for speed), evaluates the objective on the *steady state* (skipping
+ANU's convergence transient), and reports every candidate with the
+cheapest passing one highlighted.  Because ANU is self-configuring, the
+answer does not depend on hand-tuned placement per candidate — which is
+precisely what makes this kind of planning tractable (§1's provisioning
+story).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Sequence
+
+from ..cluster.cluster import ClusterConfig, ClusterSimulation
+from ..cluster.server import ServerSpec
+from ..placement.anu_policy import ANUPolicy
+from ..workloads.trace import Trace
+
+
+@dataclass(frozen=True)
+class LatencyObjective:
+    """The SLO: a latency bound on the steady-state tail.
+
+    ``percentile`` is evaluated over per-request waits completed in the
+    last ``steady_tail_fraction`` of the run (ANU's convergence transient
+    is excluded — planning is about sustained operation, not warm-up).
+    """
+
+    percentile: float = 95.0
+    bound: float = 0.050  # seconds
+    steady_tail_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if not 0 < self.percentile <= 100:
+            raise ValueError(f"percentile must be in (0, 100], got {self.percentile!r}")
+        if self.bound <= 0:
+            raise ValueError(f"bound must be positive, got {self.bound!r}")
+        if not 0 < self.steady_tail_fraction <= 1:
+            raise ValueError(
+                f"steady_tail_fraction must be in (0, 1], got "
+                f"{self.steady_tail_fraction!r}"
+            )
+
+
+@dataclass(frozen=True)
+class Candidate:
+    """One cluster configuration under consideration."""
+
+    name: str
+    speeds: Mapping[str, float]
+    #: Relative cost; defaults to the aggregate speed (hardware ~ speed).
+    cost: float | None = None
+
+    @property
+    def effective_cost(self) -> float:
+        return self.cost if self.cost is not None else float(sum(self.speeds.values()))
+
+
+@dataclass(frozen=True)
+class CandidateResult:
+    """Outcome of simulating one candidate."""
+
+    candidate: Candidate
+    measured: float
+    passed: bool
+    mean_latency: float
+    moves: int
+
+
+@dataclass
+class PlanReport:
+    """All candidate outcomes plus the recommendation."""
+
+    objective: LatencyObjective
+    results: list[CandidateResult] = field(default_factory=list)
+
+    @property
+    def recommended(self) -> CandidateResult | None:
+        """Cheapest passing candidate, or None when nothing passes."""
+        passing = [r for r in self.results if r.passed]
+        if not passing:
+            return None
+        return min(passing, key=lambda r: (r.candidate.effective_cost,
+                                           r.candidate.name))
+
+    def table(self) -> str:
+        """ASCII summary for operators and benches."""
+        obj = self.objective
+        header = (
+            f"{'candidate':>16s} {'cost':>6s} "
+            f"{'p' + format(obj.percentile, 'g') + '(ms)':>10s} "
+            f"{'bound(ms)':>10s} {'verdict':>8s}"
+        )
+        lines = [header, "-" * len(header)]
+        for r in sorted(self.results, key=lambda r: r.candidate.effective_cost):
+            verdict = "PASS" if r.passed else "fail"
+            lines.append(
+                f"{r.candidate.name:>16s} {r.candidate.effective_cost:6.0f} "
+                f"{r.measured * 1000:10.2f} {obj.bound * 1000:10.2f} "
+                f"{verdict:>8s}"
+            )
+        rec = self.recommended
+        lines.append(
+            f"recommended: {rec.candidate.name}" if rec else
+            "recommended: none (no candidate meets the objective)"
+        )
+        return "\n".join(lines)
+
+
+def evaluate_candidate(
+    candidate: Candidate,
+    trace: Trace,
+    objective: LatencyObjective,
+    tuning_interval: float = 120.0,
+    seed: int = 0,
+) -> CandidateResult:
+    """Simulate one candidate under ANU and evaluate the objective."""
+    if not candidate.speeds:
+        raise ValueError(f"candidate {candidate.name!r} has no servers")
+    config = ClusterConfig(
+        servers=tuple(
+            ServerSpec(name=n, speed=float(s))
+            for n, s in sorted(candidate.speeds.items())
+        ),
+        tuning_interval=tuning_interval,
+        sample_window=60.0,
+        seed=seed,
+    )
+    sim = ClusterSimulation(config, ANUPolicy(), trace)
+    result = sim.run()
+    steady_start = trace.duration * (1.0 - objective.steady_tail_fraction)
+    measured = sim.collector.percentile(
+        objective.percentile, start=steady_start, end=float("inf")
+    )
+    return CandidateResult(
+        candidate=candidate,
+        measured=measured,
+        passed=measured <= objective.bound,
+        mean_latency=result.mean_latency,
+        moves=result.moves_started,
+    )
+
+
+def plan_capacity(
+    candidates: Sequence[Candidate],
+    trace: Trace,
+    objective: LatencyObjective | None = None,
+    thin_to: float = 1.0,
+    tuning_interval: float = 120.0,
+    seed: int = 0,
+) -> PlanReport:
+    """Evaluate every candidate; returns the full report.
+
+    ``thin_to`` < 1 sub-samples the trace for cheaper what-if runs —
+    note that thinning scales the offered load, so use it for *relative*
+    comparisons, not absolute SLO checks.
+    """
+    obj = objective or LatencyObjective()
+    work = trace if thin_to >= 1.0 else trace.thin(thin_to, seed=seed)
+    report = PlanReport(objective=obj)
+    for candidate in candidates:
+        report.results.append(
+            evaluate_candidate(candidate, work, obj, tuning_interval, seed)
+        )
+    return report

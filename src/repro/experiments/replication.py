@@ -1,0 +1,133 @@
+"""Multi-seed replication of the headline comparisons.
+
+A single simulation run can get lucky (e.g. the hottest file set hashing
+onto a fast server).  This module reruns an experiment across seeds and
+summarizes each policy's metrics with means and confidence intervals, so
+the claims in EXPERIMENTS.md rest on distributions, not single draws.
+The replication bench asserts the paper's *ordering* — adaptive beats
+static — holds in every replicate, which is the strong form of
+reproduction.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+from ..cluster.cluster import RunResult
+from .config import ExperimentConfig
+from .runner import generate_trace, run_policy
+
+
+@dataclass(frozen=True)
+class MetricSummary:
+    """Mean, standard deviation, and 95% CI half-width of one metric."""
+
+    mean: float
+    std: float
+    ci95: float
+    values: tuple[float, ...]
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "MetricSummary":
+        vals = [float(v) for v in values]
+        if not vals:
+            raise ValueError("no values to summarize")
+        n = len(vals)
+        mean = sum(vals) / n
+        var = sum((v - mean) ** 2 for v in vals) / (n - 1) if n > 1 else 0.0
+        std = math.sqrt(var)
+        # t-ish multiplier: 1.96 is fine at n >= 30; use 2.78 (t_4) floor
+        # for the small replicate counts we actually run.
+        mult = 2.78 if n <= 5 else (2.26 if n <= 10 else 1.96)
+        ci95 = mult * std / math.sqrt(n) if n > 1 else float("inf")
+        return cls(mean=mean, std=std, ci95=ci95, values=tuple(vals))
+
+
+@dataclass
+class ReplicationResult:
+    """Per-policy metric summaries over all seeds."""
+
+    seeds: tuple[int, ...]
+    #: policy -> metric -> summary
+    summaries: dict[str, dict[str, MetricSummary]] = field(default_factory=dict)
+    #: policy -> per-seed raw results (optional; heavy)
+    raw: dict[str, list[RunResult]] = field(default_factory=dict)
+
+    def metric(self, policy: str, name: str) -> MetricSummary:
+        """The summary of one metric for one policy."""
+        return self.summaries[policy][name]
+
+    def ordering_holds(
+        self, better: str, worse: str, metric: str = "steady_worst"
+    ) -> bool:
+        """True when `better` beats `worse` on the metric in EVERY seed."""
+        b = self.summaries[better][metric].values
+        w = self.summaries[worse][metric].values
+        return all(bv < wv for bv, wv in zip(b, w))
+
+
+def _metrics_of(result: RunResult) -> dict[str, float]:
+    return {
+        "mean_latency": result.mean_latency,
+        "steady_worst": max(
+            result.series.tail_window_mean(s, 10) for s in result.series.servers
+        ),
+        "moves": float(result.moves_started),
+        "preservation": result.ledger.preservation,
+    }
+
+
+def replicate(
+    config_factory: Callable[[int], ExperimentConfig],
+    seeds: Sequence[int],
+    keep_raw: bool = False,
+) -> ReplicationResult:
+    """Run ``config_factory(seed)`` for every seed and summarize.
+
+    The factory receives the seed so both the workload and the cluster
+    can be re-randomized per replicate (matching how the figure configs
+    thread seeds).
+    """
+    if not seeds:
+        raise ValueError("need at least one seed")
+    per_policy: dict[str, list[dict[str, float]]] = {}
+    raw: dict[str, list[RunResult]] = {}
+    for seed in seeds:
+        config = config_factory(seed)
+        trace = generate_trace(config.workload_config())
+        cluster = replace(config.cluster, seed=seed)
+        for policy in config.policies:
+            result = run_policy(policy, trace, cluster)
+            per_policy.setdefault(policy, []).append(_metrics_of(result))
+            if keep_raw:
+                raw.setdefault(policy, []).append(result)
+    summaries = {
+        policy: {
+            metric: MetricSummary.of([row[metric] for row in rows])
+            for metric in rows[0]
+        }
+        for policy, rows in per_policy.items()
+    }
+    return ReplicationResult(
+        seeds=tuple(seeds), summaries=summaries, raw=raw
+    )
+
+
+def replication_table(result: ReplicationResult, metric: str = "steady_worst",
+                      unit_ms: bool = True) -> str:
+    """ASCII table of one metric across policies."""
+    scale = 1000.0 if unit_ms else 1.0
+    unit = "ms" if unit_ms else ""
+    lines = [
+        f"{'policy':20s} {'mean':>10s} {'±95% CI':>10s} {'min':>10s} {'max':>10s}"
+        f"   ({metric}, {unit}, {len(result.seeds)} seeds)"
+    ]
+    for policy in sorted(result.summaries):
+        s = result.summaries[policy][metric]
+        lines.append(
+            f"{policy:20s} {s.mean * scale:10.2f} {s.ci95 * scale:10.2f} "
+            f"{min(s.values) * scale:10.2f} {max(s.values) * scale:10.2f}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,106 @@
+"""ASCII rendering of experiment results.
+
+The benchmarks "print the same rows/series the paper reports": for each
+figure panel (one policy), a per-server block with a sparkline of the
+windowed latency series plus summary statistics, and a cross-policy
+comparison table.  Everything is plain text so results live in benchmark
+logs and EXPERIMENTS.md verbatim.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+from ..cluster.cluster import RunResult
+from ..core.interval import MappedInterval
+from ..metrics.latency import LatencySeries
+
+_SPARK = "▁▂▃▄▅▆▇█"
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """Compress ``values`` into a fixed-width unicode sparkline."""
+    arr = np.asarray(list(values), dtype=float)
+    if len(arr) == 0:
+        return ""
+    if len(arr) > width:
+        # Average into ``width`` buckets.
+        edges = np.linspace(0, len(arr), width + 1).astype(int)
+        arr = np.array(
+            [arr[a:b].mean() if b > a else 0.0 for a, b in zip(edges[:-1], edges[1:])]
+        )
+    peak = arr.max()
+    if peak <= 0:
+        return _SPARK[0] * len(arr)
+    idx = np.minimum((arr / peak * (len(_SPARK) - 1)).astype(int), len(_SPARK) - 1)
+    return "".join(_SPARK[i] for i in idx)
+
+
+def series_block(title: str, series: LatencySeries, unit_ms: bool = True) -> str:
+    """One figure panel: per-server sparkline + stats."""
+    scale = 1000.0 if unit_ms else 1.0
+    unit = "ms" if unit_ms else "s"
+    lines = [title]
+    for server in series.servers:
+        lat = series.mean_latency[server] * scale
+        lines.append(
+            f"  {server:10s} |{sparkline(lat)}| "
+            f"mean={series.mean_over_run(server) * scale:8.1f}{unit} "
+            f"peak={series.peak(server) * scale:8.1f}{unit}"
+        )
+    return "\n".join(lines)
+
+
+def comparison_table(results: Mapping[str, RunResult], unit_ms: bool = True) -> str:
+    """Cross-policy summary: the numbers behind the figure comparison."""
+    scale = 1000.0 if unit_ms else 1.0
+    unit = "ms" if unit_ms else "s"
+    header = (
+        f"{'policy':20s} {'mean(' + unit + ')':>10s} {'worst-server(' + unit + ')':>18s} "
+        f"{'moves':>6s} {'rounds':>7s} {'preserved':>10s}"
+    )
+    lines = [header, "-" * len(header)]
+    for name, res in results.items():
+        worst = max(
+            (res.series.mean_over_run(s) for s in res.series.servers), default=0.0
+        )
+        lines.append(
+            f"{name:20s} {res.mean_latency * scale:10.1f} {worst * scale:18.1f} "
+            f"{res.moves_started:6d} {res.tuning_rounds:7d} "
+            f"{res.ledger.preservation:10.3f}"
+        )
+    return "\n".join(lines)
+
+
+def render_experiment(
+    experiment_id: str,
+    description: str,
+    results: Mapping[str, RunResult],
+) -> str:
+    """Full text report for one figure: panels + comparison table."""
+    parts = [f"== {experiment_id}: {description} =="]
+    for name, res in results.items():
+        parts.append(series_block(f"[{name}]", res.series))
+    parts.append(comparison_table(results))
+    return "\n\n".join(parts)
+
+
+def interval_bar(interval: MappedInterval, width: int = 72) -> str:
+    """Render the unit interval's ownership as a labelled ASCII bar.
+
+    Used by the Figure 3–5 demonstrations: each column shows the owner of
+    that slice of the interval ('.' = unmapped).
+    """
+    servers = interval.servers
+    labels = {name: str(i % 10) for i, name in enumerate(servers)}
+    cols = []
+    for c in range(width):
+        x = (c + 0.5) / width
+        owner = interval.locate_point(x)
+        cols.append(labels[owner] if owner is not None else ".")
+    legend = "  ".join(
+        f"{labels[s]}={s}({interval.share_fraction(s):.3f})" for s in servers
+    )
+    return f"|{''.join(cols)}|\n {legend}"

@@ -1,0 +1,82 @@
+"""Shared-disk file-system substrate (the Storage Tank model of §2).
+
+Where :mod:`repro.cluster` models the *timing* of metadata service (FIFO
+queues, latencies), this package models its *semantics*: a global
+namespace partitioned into file sets, real metadata operations
+(create/stat/rename/readdir/locks), namespace images on a shared disk,
+and ANU-routed ownership that really flushes and loads images when file
+sets move.
+
+- :class:`~repro.fs.cluster.MetadataCluster` — servers + shared disk +
+  ANU routing, executing real operations;
+- :class:`~repro.fs.client.FileSystemClient` — POSIX-ish client sessions;
+- :class:`~repro.fs.namespace.Namespace` — one file set's metadata tree;
+- :class:`~repro.fs.locks.LockManager` — shared/exclusive file locks with
+  failed-client recovery;
+- :class:`~repro.fs.disk.SharedDisk` — versioned file-set images with
+  stale-flush fencing;
+- :mod:`~repro.fs.workload` — semantic operation streams and the bridge
+  to the queueing simulator's traces.
+"""
+
+from .client import ClientError, FileSystemClient
+from .cluster import FileSetRegistry, MetadataCluster
+from .disk import DiskError, SharedDisk
+from .locks import LockError, LockManager, LockMode
+from .namespace import (
+    AlreadyExists,
+    Attributes,
+    FSError,
+    Namespace,
+    Node,
+    NodeKind,
+    NotADirectory,
+    NotEmpty,
+    NotFound,
+)
+from .ops import MEAN_WEIGHT, Operation, OpResult, OpType
+from .paths import PathError
+from .service import MetadataService
+from .simulation import FullSystemConfig, FullSystemResult, FullSystemSimulation
+from .workload import (
+    DEFAULT_MIX,
+    FsWorkloadConfig,
+    generate_operations,
+    ops_to_trace,
+    populate,
+)
+
+__all__ = [
+    "MetadataCluster",
+    "FileSetRegistry",
+    "FileSystemClient",
+    "ClientError",
+    "MetadataService",
+    "Namespace",
+    "Node",
+    "NodeKind",
+    "Attributes",
+    "FSError",
+    "NotFound",
+    "AlreadyExists",
+    "NotADirectory",
+    "NotEmpty",
+    "PathError",
+    "SharedDisk",
+    "DiskError",
+    "LockManager",
+    "LockMode",
+    "LockError",
+    "Operation",
+    "OpResult",
+    "OpType",
+    "MEAN_WEIGHT",
+    "FsWorkloadConfig",
+    "DEFAULT_MIX",
+    "generate_operations",
+    "ops_to_trace",
+    "populate",
+    "FullSystemSimulation",
+    "FullSystemConfig",
+    "FullSystemResult",
+]

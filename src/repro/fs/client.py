@@ -1,0 +1,100 @@
+"""Client-side API for the metadata cluster.
+
+"In a typical file access, the client first obtains metadata and locks for
+a file from the Storage Tank servers and then fetches data by sending I/O
+requests directly to shared disks on the SAN" (§2).  The client here
+implements exactly the first half: a thin session wrapper that builds
+:class:`repro.fs.ops.Operation` messages, routes them through the cluster,
+and unwraps results.  Data I/O never touches the metadata servers, so it
+does not appear in this model.
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from .cluster import MetadataCluster
+from .locks import LockMode
+from .namespace import Attributes
+from .ops import Operation, OpResult, OpType
+
+
+class ClientError(Exception):
+    """An operation failed; carries the server-side error string."""
+
+
+class FileSystemClient:
+    """One client session against a :class:`MetadataCluster`."""
+
+    def __init__(self, cluster: MetadataCluster, name: str = "client0") -> None:
+        self.cluster = cluster
+        self.name = name
+        self.clock = 0.0
+        self.ops_sent = 0
+
+    # ------------------------------------------------------------------
+    def _call(self, op: OpType, path: str, **args: Any) -> OpResult:
+        self.clock += 1.0  # logical client clock for mtime ordering
+        operation = Operation(
+            op=op, path=path, client=self.name, time=self.clock, args=args
+        )
+        self.ops_sent += 1
+        _server, result = self.cluster.submit(operation)
+        return result
+
+    def _must(self, op: OpType, path: str, **args: Any) -> Any:
+        result = self._call(op, path, **args)
+        if not result.ok:
+            raise ClientError(result.error or "unknown error")
+        return result.value
+
+    # ------------------------------------------------------------------
+    # POSIX-ish surface
+    # ------------------------------------------------------------------
+    def mkdir(self, path: str) -> int:
+        """Create a directory; returns its inode."""
+        return self._must(OpType.MKDIR, path)
+
+    def create(self, path: str) -> int:
+        """Create a file; returns its inode."""
+        return self._must(OpType.CREATE, path)
+
+    def stat(self, path: str) -> Attributes:
+        """Attributes of ``path``."""
+        return self._must(OpType.STAT, path)
+
+    def exists(self, path: str) -> bool:
+        """True when ``path`` resolves."""
+        return bool(self._must(OpType.LOOKUP, path))
+
+    def readdir(self, path: str) -> list[str]:
+        """Sorted names in directory ``path``."""
+        return self._must(OpType.READDIR, path)
+
+    def setattr(self, path: str, **changes: Any) -> Attributes:
+        """Update attributes of ``path``; returns the new attributes."""
+        return self._must(OpType.SETATTR, path, **changes)
+
+    def unlink(self, path: str) -> None:
+        """Remove the file at ``path``."""
+        self._must(OpType.UNLINK, path)
+
+    def rmdir(self, path: str) -> None:
+        """Remove the empty directory at ``path``."""
+        self._must(OpType.RMDIR, path)
+
+    def rename(self, src: str, dst: str) -> None:
+        """Rename ``src`` to ``dst`` (within one file set)."""
+        self._must(OpType.RENAME, src, dst=dst)
+
+    # ------------------------------------------------------------------
+    # Locks (granted by the owning metadata server)
+    # ------------------------------------------------------------------
+    def lock(self, path: str, exclusive: bool = False) -> bool:
+        """Acquire a data lock; returns True if granted, False if queued."""
+        mode = LockMode.EXCLUSIVE if exclusive else LockMode.SHARED
+        return bool(self._must(OpType.LOCK, path, mode=mode))
+
+    def unlock(self, path: str) -> None:
+        """Release this session's lock on ``path``."""
+        self._must(OpType.UNLOCK, path)

@@ -1,0 +1,256 @@
+"""A functional shared-disk metadata cluster.
+
+This ties the file-system substrate together into the system of Figure 1:
+a global namespace partitioned into file sets (subtrees), a shared disk
+holding every file set's metadata image, one :class:`MetadataService` per
+server, and ANU randomization as the routing/ownership layer.  Unlike
+:mod:`repro.cluster` (which models queueing *timing*), this cluster
+executes *real* metadata operations — create/stat/rename/locks — and
+really moves namespace images over the shared disk when ownership changes,
+so the end-to-end correctness of placement + movement + recovery is
+testable: every operation lands on exactly the server that owns its file
+set, and no update is ever lost across tuning, failure, and recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+from ..core.anu import ANUPlacement
+from ..core.hashing import HashFamily
+from ..core.movement import MovementLedger, diff_assignment
+from ..core.tuning import DelegateTuner, ServerReport, TuningConfig
+from . import paths
+from .disk import SharedDisk
+from .namespace import FSError, Namespace
+from .ops import Operation, OpResult
+from .service import MetadataService
+
+
+class FileSetRegistry:
+    """Maps global paths to file sets (deepest enclosing subtree root)."""
+
+    def __init__(self, roots: Mapping[str, str]) -> None:
+        """``roots``: file-set name -> global root path of its subtree."""
+        if not roots:
+            raise FSError("need at least one file set")
+        self._root_of: dict[str, str] = {}
+        for name, root in roots.items():
+            norm = paths.normalize(root)
+            if norm in self._root_of.values():
+                raise FSError(f"duplicate file-set root {norm!r}")
+            self._root_of[name] = norm
+        # Longest-prefix order for resolution.
+        self._ordered = sorted(
+            self._root_of.items(), key=lambda kv: -len(paths.components(kv[1]))
+        )
+
+    @property
+    def filesets(self) -> list[str]:
+        return sorted(self._root_of)
+
+    def root_of(self, fileset: str) -> str:
+        """Global root path of ``fileset``."""
+        try:
+            return self._root_of[fileset]
+        except KeyError:
+            raise FSError(f"unknown file set {fileset!r}") from None
+
+    def fileset_of(self, path: str) -> str:
+        """The file set owning ``path`` (deepest enclosing root)."""
+        norm = paths.normalize(path)
+        for name, root in self._ordered:
+            if paths.is_ancestor(root, norm):
+                return name
+        raise FSError(f"{path!r} is outside every file set")
+
+    def relative(self, fileset: str, path: str) -> str:
+        """``path`` relative to the file set's root, as an absolute path
+        within the file-set namespace."""
+        root = self.root_of(fileset)
+        comps = paths.components(path)
+        root_comps = paths.components(root)
+        if comps[: len(root_comps)] != root_comps:
+            raise FSError(f"{path!r} is not inside file set {fileset!r}")
+        rest = comps[len(root_comps):]
+        return paths.ROOT + "/".join(rest) if rest else paths.ROOT
+
+
+class MetadataCluster:
+    """Servers + shared disk + ANU routing for real metadata operations."""
+
+    def __init__(
+        self,
+        servers: Iterable[str],
+        fileset_roots: Mapping[str, str],
+        tuning: TuningConfig | None = None,
+        hash_family: HashFamily | None = None,
+    ) -> None:
+        self.registry = FileSetRegistry(fileset_roots)
+        self.disk = SharedDisk()
+        self.services: dict[str, MetadataService] = {
+            name: MetadataService(name, self.disk) for name in servers
+        }
+        if not self.services:
+            raise FSError("need at least one server")
+        self.placement = ANUPlacement(sorted(self.services), hash_family=hash_family)
+        self.tuner = DelegateTuner(tuning)
+        self.ledger = MovementLedger()
+        self._previous_reports: Sequence[ServerReport] | None = None
+        # Format every file set and hand it to its initial owner.
+        for fileset in self.registry.filesets:
+            self.disk.format_fileset(Namespace(fileset))
+        self._ownership: dict[str, str] = {}
+        self._apply_assignment(
+            self.placement.assignment(self.registry.filesets)
+        )
+
+    # ------------------------------------------------------------------
+    # Ownership realization over the shared disk
+    # ------------------------------------------------------------------
+    def _apply_assignment(self, new: Mapping[str, str], now: float = 0.0) -> int:
+        diff = diff_assignment(self._ownership, new)
+        for move in diff.moves:
+            if move.source is not None:
+                source = self.services.get(move.source)
+                if source is not None and source.owns(move.fileset):
+                    source.release_fileset(move.fileset, now=now)
+            self.services[move.destination].acquire_fileset(move.fileset)
+        self._ownership = dict(new)
+        if diff.total:
+            self.ledger.record(diff)
+        return diff.moved
+
+    def owner_of(self, fileset: str) -> str:
+        """The server currently owning ``fileset``."""
+        try:
+            return self._ownership[fileset]
+        except KeyError:
+            raise FSError(f"unknown file set {fileset!r}") from None
+
+    def ownership(self) -> dict[str, str]:
+        """file set -> owner map (copy)."""
+        return dict(self._ownership)
+
+    # ------------------------------------------------------------------
+    # Client entry point
+    # ------------------------------------------------------------------
+    def submit(self, operation: Operation) -> tuple[str, OpResult]:
+        """Route one operation by hashing and execute it on the owner.
+
+        Returns ``(server_name, result)``.  Cross-file-set renames are
+        rejected here — file sets are indivisible ownership units, so a
+        rename may not span two of them (real systems return EXDEV).
+        """
+        fileset = self.registry.fileset_of(operation.path)
+        local_args = dict(operation.args)
+        if "dst" in local_args:
+            dst_fileset = self.registry.fileset_of(local_args["dst"])
+            if dst_fileset != fileset:
+                return self.owner_of(fileset), OpResult.failure(
+                    "cross-fileset rename (EXDEV)"
+                )
+            local_args["dst"] = self.registry.relative(fileset, local_args["dst"])
+        server = self.owner_of(fileset)
+        local = Operation(
+            op=operation.op,
+            path=self.registry.relative(fileset, operation.path),
+            client=operation.client,
+            time=operation.time,
+            args=local_args,
+        )
+        return server, self.services[server].execute(fileset, local)
+
+    # ------------------------------------------------------------------
+    # Tuning and membership
+    # ------------------------------------------------------------------
+    def retune(self, reports: Sequence[ServerReport], now: float = 0.0) -> int:
+        """One delegate round: rescale regions, move images; returns the
+        number of file sets moved."""
+        decision = self.tuner.compute(
+            self.placement.shares(), reports, self._previous_reports
+        )
+        self._previous_reports = list(reports)
+        if not decision.tuned:
+            return 0
+        self.placement.set_shares(decision.new_shares)
+        self.placement.check_invariants()
+        return self._apply_assignment(
+            self.placement.assignment(self.registry.filesets), now=now
+        )
+
+    def fail_server(self, name: str, now: float = 0.0) -> int:
+        """Crash a server: its unflushed updates are lost; its file sets
+        are re-hashed to survivors, which load the last flushed images."""
+        service = self.services.get(name)
+        if service is None:
+            raise FSError(f"unknown server {name!r}")
+        service.crash()
+        del self.services[name]
+        self.placement.remove_server(name)
+        self._previous_reports = None
+        # The crashed server's file sets must be re-owned even though the
+        # crash lost the in-memory copies; ownership diff handles it (the
+        # source no longer owns them, so only acquire happens).
+        self._ownership = {
+            fs: owner for fs, owner in self._ownership.items() if owner != name
+        }
+        return self._apply_assignment(
+            self.placement.assignment(self.registry.filesets), now=now
+        )
+
+    def add_server(self, name: str, now: float = 0.0) -> int:
+        """Commission (or recover) a server."""
+        if name in self.services:
+            raise FSError(f"server {name!r} already present")
+        self.services[name] = MetadataService(name, self.disk)
+        self.placement.add_server(name)
+        self._previous_reports = None
+        return self._apply_assignment(
+            self.placement.assignment(self.registry.filesets), now=now
+        )
+
+    def remove_server(self, name: str, now: float = 0.0) -> int:
+        """Graceful decommission: flush everything, then re-own."""
+        service = self.services.get(name)
+        if service is None:
+            raise FSError(f"unknown server {name!r}")
+        service.flush_all(now=now)
+        for fileset in service.owned_filesets():
+            service.release_fileset(fileset, now=now)
+        del self.services[name]
+        self.placement.remove_server(name)
+        self._previous_reports = None
+        self._ownership = {
+            fs: owner for fs, owner in self._ownership.items() if owner != name
+        }
+        return self._apply_assignment(
+            self.placement.assignment(self.registry.filesets), now=now
+        )
+
+    def checkpoint(self, now: float = 0.0) -> None:
+        """Flush every owned namespace on every server (periodic sync)."""
+        for service in self.services.values():
+            service.flush_all(now=now)
+
+    # ------------------------------------------------------------------
+    def check_consistency(self) -> None:
+        """Assert the ownership map, services, and placement agree."""
+        for fileset, owner in self._ownership.items():
+            if owner not in self.services:
+                raise FSError(f"{fileset!r} owned by unknown server {owner!r}")
+            if not self.services[owner].owns(fileset):
+                raise FSError(f"{owner!r} does not hold {fileset!r} in memory")
+            located = self.placement.locate(fileset)
+            if located != owner:
+                raise FSError(
+                    f"placement locates {fileset!r} at {located!r}, "
+                    f"ownership says {owner!r}"
+                )
+        for name, service in self.services.items():
+            for fileset in service.owned_filesets():
+                if self._ownership.get(fileset) != name:
+                    raise FSError(
+                        f"{name!r} holds {fileset!r} but ownership says "
+                        f"{self._ownership.get(fileset)!r}"
+                    )

@@ -1,0 +1,104 @@
+"""The shared disk: file-set metadata images accessible from all servers.
+
+"Metadata are stored on shared disks accessible to all servers" (§2) —
+this is what makes file-set movement cheap: the releasing server *flushes*
+its in-memory namespace to the shared disk, and the acquiring server
+*loads* it.  No data travels between servers.
+
+The :class:`SharedDisk` enforces the consistency discipline of that
+protocol: images are versioned by the namespace generation; a load returns
+the most recently flushed image; flushing a generation older than what the
+disk holds is rejected (a stale server must not clobber a newer image —
+the fencing that shared-disk file systems rely on).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .namespace import Namespace
+
+
+class DiskError(Exception):
+    """Illegal shared-disk operation (missing image, stale flush...)."""
+
+
+@dataclass
+class ImageRecord:
+    """One stored file-set image plus bookkeeping."""
+
+    image: dict
+    generation: int
+    flushed_at: float
+    flushed_by: str
+
+
+class SharedDisk:
+    """Block-store abstraction holding one image per file set."""
+
+    def __init__(self) -> None:
+        self._images: dict[str, ImageRecord] = {}
+        self.flushes = 0
+        self.loads = 0
+
+    # ------------------------------------------------------------------
+    def format_fileset(self, namespace: Namespace, now: float = 0.0) -> None:
+        """Create the initial image for a brand-new file set."""
+        if namespace.fileset in self._images:
+            raise DiskError(f"file set {namespace.fileset!r} already formatted")
+        self._images[namespace.fileset] = ImageRecord(
+            image=namespace.to_image(),
+            generation=namespace.generation,
+            flushed_at=now,
+            flushed_by="mkfs",
+        )
+
+    def flush(self, namespace: Namespace, server: str, now: float = 0.0) -> None:
+        """Write the namespace image (the releasing server's cache flush).
+
+        Rejects flushing a generation older than the stored one: a server
+        that lost ownership must not overwrite the new owner's updates.
+        """
+        record = self._images.get(namespace.fileset)
+        if record is None:
+            raise DiskError(f"file set {namespace.fileset!r} was never formatted")
+        if namespace.generation < record.generation:
+            raise DiskError(
+                f"stale flush of {namespace.fileset!r}: generation "
+                f"{namespace.generation} < stored {record.generation} "
+                f"(fenced out)"
+            )
+        self._images[namespace.fileset] = ImageRecord(
+            image=namespace.to_image(),
+            generation=namespace.generation,
+            flushed_at=now,
+            flushed_by=server,
+        )
+        self.flushes += 1
+
+    def load(self, fileset: str) -> Namespace:
+        """Read the image (the acquiring server's initialization)."""
+        record = self._images.get(fileset)
+        if record is None:
+            raise DiskError(f"no image for file set {fileset!r}")
+        self.loads += 1
+        return Namespace.from_image(record.image)
+
+    # ------------------------------------------------------------------
+    def generation(self, fileset: str) -> int:
+        """Stored image generation of ``fileset``."""
+        record = self._images.get(fileset)
+        if record is None:
+            raise DiskError(f"no image for file set {fileset!r}")
+        return record.generation
+
+    def filesets(self) -> list[str]:
+        """Names of every formatted file set."""
+        return sorted(self._images)
+
+    def record(self, fileset: str) -> ImageRecord:
+        """The stored image record (image + bookkeeping)."""
+        record = self._images.get(fileset)
+        if record is None:
+            raise DiskError(f"no image for file set {fileset!r}")
+        return record

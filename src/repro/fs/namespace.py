@@ -1,0 +1,275 @@
+"""The metadata namespace tree of one file set.
+
+Storage Tank's servers "store, serve, and write file system metadata"
+(§2).  A :class:`Namespace` is the metadata image of a single file set: a
+tree of directories and files with POSIX-ish attributes, supporting the
+metadata operations the workload consists of (small reads and writes of
+attributes and directory entries — never file data, which goes straight to
+the SAN).
+
+The tree is deliberately self-contained and serializable
+(:meth:`Namespace.to_image` / :meth:`Namespace.from_image`): the shared
+disk stores these images, and moving a file set between servers is
+flush-image + load-image (see :mod:`repro.fs.disk`).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Iterator
+
+from . import paths
+from .paths import PathError
+
+
+class FSError(Exception):
+    """Base error for namespace operations."""
+
+
+class NotFound(FSError):
+    """Path does not exist."""
+
+
+class AlreadyExists(FSError):
+    """Create/mkdir target already exists."""
+
+
+class NotADirectory(FSError):
+    """A file appears where a directory is required."""
+
+
+class NotEmpty(FSError):
+    """rmdir of a non-empty directory."""
+
+
+class NodeKind(enum.Enum):
+    FILE = "file"
+    DIRECTORY = "directory"
+
+
+_INODE_COUNTER = itertools.count(1)
+
+
+@dataclass
+class Attributes:
+    """POSIX-ish metadata attributes of one node."""
+
+    size: int = 0
+    mode: int = 0o644
+    owner: str = "root"
+    ctime: float = 0.0
+    mtime: float = 0.0
+
+    def copy(self) -> "Attributes":
+        """Independent copy of these attributes."""
+        return Attributes(self.size, self.mode, self.owner, self.ctime, self.mtime)
+
+
+@dataclass
+class Node:
+    """One namespace node (file or directory)."""
+
+    name: str
+    kind: NodeKind
+    attrs: Attributes = field(default_factory=Attributes)
+    inode: int = field(default_factory=lambda: next(_INODE_COUNTER))
+    children: dict[str, "Node"] = field(default_factory=dict)
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind is NodeKind.DIRECTORY
+
+
+class Namespace:
+    """The metadata tree of one file set, rooted at the file-set root."""
+
+    def __init__(self, fileset: str) -> None:
+        self.fileset = fileset
+        self.root = Node(name="", kind=NodeKind.DIRECTORY,
+                         attrs=Attributes(mode=0o755))
+        self._generation = 0  # bumped on every mutation (image versioning)
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def _resolve(self, path: str) -> Node:
+        node = self.root
+        for comp in paths.components(path):
+            if not node.is_dir:
+                raise NotADirectory(f"{path!r}: {node.name!r} is not a directory")
+            child = node.children.get(comp)
+            if child is None:
+                raise NotFound(f"{path!r}: no such entry {comp!r}")
+            node = child
+        return node
+
+    def _resolve_parent(self, path: str) -> tuple[Node, str]:
+        comps = paths.components(path)
+        if not comps:
+            raise PathError("operation on the file-set root")
+        parent = self._resolve(paths.parent(path))
+        if not parent.is_dir:
+            raise NotADirectory(f"{path!r}: parent is not a directory")
+        return parent, comps[-1]
+
+    def exists(self, path: str) -> bool:
+        """True when ``path`` resolves in this file set."""
+        try:
+            self._resolve(path)
+            return True
+        except FSError:
+            return False
+
+    # ------------------------------------------------------------------
+    # Metadata operations
+    # ------------------------------------------------------------------
+    def mkdir(self, path: str, owner: str = "root", now: float = 0.0) -> Node:
+        """Create a directory; returns the new node."""
+        parent, name = self._resolve_parent(path)
+        if name in parent.children:
+            raise AlreadyExists(f"{path!r} already exists")
+        node = Node(name=name, kind=NodeKind.DIRECTORY,
+                    attrs=Attributes(mode=0o755, owner=owner, ctime=now, mtime=now))
+        parent.children[name] = node
+        parent.attrs.mtime = now
+        self._generation += 1
+        return node
+
+    def create(self, path: str, owner: str = "root", now: float = 0.0) -> Node:
+        """Create a file; returns the new node."""
+        parent, name = self._resolve_parent(path)
+        if name in parent.children:
+            raise AlreadyExists(f"{path!r} already exists")
+        node = Node(name=name, kind=NodeKind.FILE,
+                    attrs=Attributes(owner=owner, ctime=now, mtime=now))
+        parent.children[name] = node
+        parent.attrs.mtime = now
+        self._generation += 1
+        return node
+
+    def stat(self, path: str) -> Attributes:
+        """Copy of the node's attributes."""
+        return self._resolve(path).attrs.copy()
+
+    def setattr(self, path: str, now: float = 0.0, **changes: Any) -> Attributes:
+        """Update attributes; returns the new values."""
+        node = self._resolve(path)
+        for key, value in changes.items():
+            if not hasattr(node.attrs, key):
+                raise FSError(f"unknown attribute {key!r}")
+            setattr(node.attrs, key, value)
+        node.attrs.mtime = now
+        self._generation += 1
+        return node.attrs.copy()
+
+    def readdir(self, path: str) -> list[str]:
+        """Sorted child names of a directory."""
+        node = self._resolve(path)
+        if not node.is_dir:
+            raise NotADirectory(f"{path!r} is not a directory")
+        return sorted(node.children)
+
+    def unlink(self, path: str, now: float = 0.0) -> None:
+        """Remove a file (not a directory)."""
+        parent, name = self._resolve_parent(path)
+        node = parent.children.get(name)
+        if node is None:
+            raise NotFound(f"{path!r}: no such entry")
+        if node.is_dir:
+            raise FSError(f"{path!r} is a directory; use rmdir")
+        del parent.children[name]
+        parent.attrs.mtime = now
+        self._generation += 1
+
+    def rmdir(self, path: str, now: float = 0.0) -> None:
+        """Remove an empty directory."""
+        parent, name = self._resolve_parent(path)
+        node = parent.children.get(name)
+        if node is None:
+            raise NotFound(f"{path!r}: no such entry")
+        if not node.is_dir:
+            raise NotADirectory(f"{path!r} is not a directory")
+        if node.children:
+            raise NotEmpty(f"{path!r} is not empty")
+        del parent.children[name]
+        parent.attrs.mtime = now
+        self._generation += 1
+
+    def rename(self, src: str, dst: str, now: float = 0.0) -> None:
+        """Rename within this file set (cross-file-set renames are rejected
+        one level up, by the metadata service)."""
+        src_parent, src_name = self._resolve_parent(src)
+        node = src_parent.children.get(src_name)
+        if node is None:
+            raise NotFound(f"{src!r}: no such entry")
+        if paths.is_ancestor(src, dst):
+            raise FSError(f"cannot rename {src!r} into itself")
+        dst_parent, dst_name = self._resolve_parent(dst)
+        if dst_name in dst_parent.children:
+            raise AlreadyExists(f"{dst!r} already exists")
+        del src_parent.children[src_name]
+        node.name = dst_name
+        dst_parent.children[dst_name] = node
+        src_parent.attrs.mtime = now
+        dst_parent.attrs.mtime = now
+        self._generation += 1
+
+    # ------------------------------------------------------------------
+    # Introspection and images
+    # ------------------------------------------------------------------
+    def walk(self) -> Iterator[tuple[str, Node]]:
+        """Yield (path, node) for every node, root first, sorted."""
+        stack: list[tuple[str, Node]] = [(paths.ROOT, self.root)]
+        while stack:
+            path, node = stack.pop()
+            yield path, node
+            for name in sorted(node.children, reverse=True):
+                child = node.children[name]
+                stack.append((paths.join(path, name), child))
+
+    def count_nodes(self) -> int:
+        """Total nodes in the tree (including the root)."""
+        return sum(1 for _ in self.walk())
+
+    def to_image(self) -> dict:
+        """Serialize to a plain-dict disk image (shared-disk flush)."""
+        def ser(node: Node) -> dict:
+            return {
+                "name": node.name,
+                "kind": node.kind.value,
+                "inode": node.inode,
+                "attrs": vars(node.attrs).copy(),
+                "children": [ser(c) for _, c in sorted(node.children.items())],
+            }
+
+        return {
+            "fileset": self.fileset,
+            "generation": self._generation,
+            "root": ser(self.root),
+        }
+
+    @classmethod
+    def from_image(cls, image: dict) -> "Namespace":
+        """Deserialize a disk image (shared-disk load on the acquirer)."""
+        def deser(data: dict) -> Node:
+            node = Node(
+                name=data["name"],
+                kind=NodeKind(data["kind"]),
+                attrs=Attributes(**data["attrs"]),
+            )
+            node.inode = data["inode"]
+            for child in data["children"]:
+                c = deser(child)
+                node.children[c.name] = c
+            return node
+
+        ns = cls(image["fileset"])
+        ns.root = deser(image["root"])
+        ns._generation = image["generation"]
+        return ns

@@ -1,0 +1,80 @@
+"""Metadata operations and their service costs.
+
+The server workload is "the single class of metadata operations — small
+reads and writes" (§2).  Each operation targets one path (rename: two,
+constrained to one file set) and carries a relative *cost weight* used by
+the workload adapter to derive queueing service demands: directory scans
+cost more than a stat, namespace mutations more than reads.  Weights are
+relative; the adapter scales them to a configured mean request cost.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class OpType(enum.Enum):
+    """Metadata operation types with relative cost weights."""
+
+    STAT = ("stat", 0.6)
+    LOOKUP = ("lookup", 0.6)
+    READDIR = ("readdir", 1.6)
+    CREATE = ("create", 1.4)
+    MKDIR = ("mkdir", 1.4)
+    SETATTR = ("setattr", 1.0)
+    UNLINK = ("unlink", 1.2)
+    RMDIR = ("rmdir", 1.2)
+    RENAME = ("rename", 1.8)
+    LOCK = ("lock", 0.8)
+    UNLOCK = ("unlock", 0.6)
+
+    def __init__(self, label: str, weight: float) -> None:
+        self.label = label
+        self.weight = weight
+
+    @property
+    def mutates(self) -> bool:
+        return self in (
+            OpType.CREATE, OpType.MKDIR, OpType.SETATTR,
+            OpType.UNLINK, OpType.RMDIR, OpType.RENAME,
+        )
+
+
+#: Mean of all op weights; used to normalize costs so that a uniform op
+#: mix has mean cost equal to the adapter's configured request cost.
+MEAN_WEIGHT = sum(t.weight for t in OpType) / len(OpType)
+
+
+@dataclass(frozen=True)
+class Operation:
+    """One client metadata operation."""
+
+    op: OpType
+    path: str
+    client: str = "client0"
+    time: float = 0.0
+    #: Secondary path (rename destination) or lock mode, by op type.
+    args: dict[str, Any] = field(default_factory=dict)
+
+    def cost(self, mean_cost: float) -> float:
+        """Service demand in speed-1 seconds for a given mean request cost."""
+        return mean_cost * self.op.weight / MEAN_WEIGHT
+
+
+@dataclass(frozen=True)
+class OpResult:
+    """Outcome of one operation."""
+
+    ok: bool
+    value: Any = None
+    error: str | None = None
+
+    @classmethod
+    def success(cls, value: Any = None) -> "OpResult":
+        return cls(ok=True, value=value)
+
+    @classmethod
+    def failure(cls, error: str) -> "OpResult":
+        return cls(ok=False, error=error)

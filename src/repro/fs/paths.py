@@ -1,0 +1,76 @@
+"""Path handling for the global file-system namespace.
+
+Storage Tank presents a single global namespace; file sets are subtrees of
+it (§2).  Paths here are absolute, ``/``-separated, normalized strings.
+The helpers are deliberately strict — the metadata service validates every
+client-supplied path before touching the tree.
+"""
+
+from __future__ import annotations
+
+ROOT = "/"
+
+
+class PathError(ValueError):
+    """Raised for malformed or illegal paths."""
+
+
+def normalize(path: str) -> str:
+    """Normalize ``path`` to canonical absolute form.
+
+    Rejects relative paths, empty components, ``.``/``..`` traversal, and
+    embedded NULs; collapses duplicate slashes and trailing slashes.
+    """
+    if not isinstance(path, str) or not path:
+        raise PathError(f"empty path {path!r}")
+    if "\x00" in path:
+        raise PathError("path contains NUL")
+    if not path.startswith("/"):
+        raise PathError(f"path {path!r} is not absolute")
+    parts = [p for p in path.split("/") if p != ""]
+    for part in parts:
+        if part in (".", ".."):
+            raise PathError(f"path {path!r} contains traversal component {part!r}")
+    return ROOT + "/".join(parts)
+
+
+def components(path: str) -> list[str]:
+    """The normalized path's components (empty list for the root)."""
+    norm = normalize(path)
+    return [] if norm == ROOT else norm[1:].split("/")
+
+
+def parent(path: str) -> str:
+    """Parent directory of ``path`` (the root is its own parent... no:
+    asking for the root's parent is an error)."""
+    comps = components(path)
+    if not comps:
+        raise PathError("the root has no parent")
+    return ROOT + "/".join(comps[:-1]) if len(comps) > 1 else ROOT
+
+
+def basename(path: str) -> str:
+    """Final component of ``path``."""
+    comps = components(path)
+    if not comps:
+        raise PathError("the root has no basename")
+    return comps[-1]
+
+
+def join(base: str, *names: str) -> str:
+    """Join a base path with child names (names must be single components)."""
+    norm = normalize(base)
+    for name in names:
+        if not name or "/" in name or name in (".", ".."):
+            raise PathError(f"illegal path component {name!r}")
+    suffix = "/".join(names)
+    if not suffix:
+        return norm
+    return (norm if norm != ROOT else "") + "/" + suffix
+
+
+def is_ancestor(ancestor: str, path: str) -> bool:
+    """True when ``ancestor`` is ``path`` or a proper ancestor of it."""
+    a = components(ancestor)
+    p = components(path)
+    return len(a) <= len(p) and p[: len(a)] == a

@@ -1,0 +1,206 @@
+"""Full-system simulation: timed execution of real metadata operations.
+
+The queueing simulator (:mod:`repro.cluster`) times abstract requests; the
+semantic cluster (:mod:`repro.fs.cluster`) executes real operations
+untimed.  This module combines them on one engine:
+
+- every operation queues at its owner's FIFO facility (service time =
+  op cost / server speed) and executes against the *real* namespace when
+  service completes;
+- the delegate round runs every tuning interval on observed waits;
+- reconfiguration moves are timed: the share rescale happens immediately,
+  but each file set's ownership transfers only after the 5-10 s
+  flush/initialize delay, during which the source keeps serving — and the
+  image really travels over the shared disk.
+
+The result is the strongest correctness statement in the repository: under
+a timed, tuned, reconfiguring run, every operation still executes exactly
+once on the file set's owner, and the final namespace state equals the
+untimed replay of the same operation stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.movement import diff_assignment
+from ..core.tuning import DelegateTuner, TuningConfig
+from ..metrics.latency import LatencyCollector, LatencySeries
+from ..sim.engine import Engine
+from ..sim.events import PRIORITY_LATE
+from ..sim.resources import Facility
+from ..sim.rng import StreamFactory
+from .cluster import MetadataCluster
+from .ops import MEAN_WEIGHT, Operation, OpResult
+
+
+@dataclass(frozen=True)
+class FullSystemConfig:
+    """Parameters of a timed full-system run."""
+
+    server_speeds: dict[str, float]
+    fileset_roots: dict[str, str]
+    tuning_interval: float = 120.0
+    sample_window: float = 60.0
+    mean_op_cost: float = 0.1  # speed-1 seconds for a mean-weight op
+    move_delay_min: float = 5.0
+    move_delay_max: float = 10.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if not self.server_speeds:
+            raise ValueError("need at least one server")
+        if any(v <= 0 for v in self.server_speeds.values()):
+            raise ValueError("speeds must be positive")
+        if not 0 <= self.move_delay_min <= self.move_delay_max:
+            raise ValueError("need 0 <= move_delay_min <= move_delay_max")
+
+
+@dataclass
+class FullSystemResult:
+    """Everything a test or bench reads from a timed run."""
+
+    series: LatencySeries
+    ops_completed: int
+    ops_failed: int
+    moves: int
+    tuning_rounds: int
+    cluster: MetadataCluster
+    failures: list[tuple[Operation, str]] = field(default_factory=list)
+
+
+class FullSystemSimulation:
+    """Timed, tuned, reconfiguring execution of an operation stream."""
+
+    def __init__(
+        self,
+        config: FullSystemConfig,
+        operations: list[Operation],
+        tuning: TuningConfig | None = None,
+    ) -> None:
+        self.config = config
+        self.operations = sorted(operations, key=lambda o: o.time)
+        self.engine = Engine()
+        factory = StreamFactory(config.seed)
+        self._move_rng = factory.stream("fs-sim-mover")
+        self.cluster = MetadataCluster(
+            sorted(config.server_speeds), config.fileset_roots, tuning=tuning
+        )
+        self.tuner = DelegateTuner(tuning)
+        self.facilities = {
+            name: Facility(self.engine, name)
+            for name in config.server_speeds
+        }
+        self.collector = LatencyCollector()
+        for name in config.server_speeds:
+            self.collector.ensure_server(name)
+        self.ops_completed = 0
+        self.ops_failed = 0
+        self.moves = 0
+        self.tuning_rounds = 0
+        self.failures: list[tuple[Operation, str]] = []
+        self._moving: set[str] = set()
+        self._previous_reports = None
+        self._duration = (
+            self.operations[-1].time if self.operations else 0.0
+        )
+
+    # ------------------------------------------------------------------
+    def run(self) -> FullSystemResult:
+        """Execute the operation stream; returns the results."""
+        for op in self.operations:
+            self.engine.schedule_at(op.time, self._on_arrival, op)
+        if self._duration > 0:
+            self.engine.schedule_at(
+                min(self.config.tuning_interval, self._duration),
+                self._tuning_round,
+                priority=PRIORITY_LATE,
+            )
+        self.engine.run()
+        duration = max(self._duration, self.engine.now, 1e-9)
+        return FullSystemResult(
+            series=self.collector.series(duration, self.config.sample_window),
+            ops_completed=self.ops_completed,
+            ops_failed=self.ops_failed,
+            moves=self.moves,
+            tuning_rounds=self.tuning_rounds,
+            cluster=self.cluster,
+            failures=self.failures,
+        )
+
+    # ------------------------------------------------------------------
+    def _on_arrival(self, op: Operation) -> None:
+        fileset = self.cluster.registry.fileset_of(op.path)
+        owner = self.cluster.owner_of(fileset)
+        speed = self.config.server_speeds[owner]
+        cost = self.config.mean_op_cost * op.op.weight / MEAN_WEIGHT
+        arrival = self.engine.now
+
+        def _serve() -> None:
+            # Execute on whoever owns the file set NOW — ownership may have
+            # moved while the op queued; the shared-disk image moved with
+            # it, so execution remains correct either way.  We route to the
+            # *current* owner to model ownership fencing.
+            result = self._execute(op)
+            wait = max(self.engine.now - arrival - cost / speed, 0.0)
+            self.collector.record(owner, self.engine.now, wait)
+            if result.ok:
+                self.ops_completed += 1
+            else:
+                self.ops_failed += 1
+                self.failures.append((op, result.error or "?"))
+
+        self.facilities[owner].request(cost / speed, _serve)
+
+    def _execute(self, op: Operation) -> OpResult:
+        _server, result = self.cluster.submit(
+            Operation(op=op.op, path=op.path, client=op.client,
+                      time=self.engine.now, args=op.args)
+        )
+        return result
+
+    # ------------------------------------------------------------------
+    def _tuning_round(self) -> None:
+        now = self.engine.now
+        interval = self.config.tuning_interval
+        reports = self.collector.reports(
+            sorted(self.config.server_speeds), now - interval, now
+        )
+        self.tuning_rounds += 1
+        decision = self.tuner.compute(
+            self.cluster.placement.shares(), reports, self._previous_reports
+        )
+        self._previous_reports = list(reports)
+        if decision.tuned:
+            placement = self.cluster.placement
+            placement.set_shares(decision.new_shares)
+            placement.check_invariants()
+            old = self.cluster.ownership()
+            new = placement.assignment(self.cluster.registry.filesets)
+            for move in diff_assignment(old, new).moves:
+                if move.fileset in self._moving:
+                    continue
+                self._moving.add(move.fileset)
+                delay = float(self._move_rng.uniform(
+                    self.config.move_delay_min, self.config.move_delay_max
+                ))
+                self.engine.schedule(
+                    delay, self._finish_move, move.fileset, move.destination
+                )
+        if now + interval <= self._duration:
+            self.engine.schedule(interval, self._tuning_round,
+                                 priority=PRIORITY_LATE)
+
+    def _finish_move(self, fileset: str, destination: str) -> None:
+        self._moving.discard(fileset)
+        source = self.cluster.owner_of(fileset)
+        if source == destination:
+            return
+        # Flush the source's image and initialize the destination — the
+        # real shared-disk transfer.
+        self.cluster.services[source].release_fileset(
+            fileset, now=self.engine.now
+        )
+        self.cluster.services[destination].acquire_fileset(fileset)
+        self.cluster._ownership[fileset] = destination
+        self.moves += 1

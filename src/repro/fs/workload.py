@@ -1,0 +1,185 @@
+"""FS-level workload generation and the bridge to the queueing simulator.
+
+Two layers of realism are available in this repository:
+
+1. the queueing simulator (:mod:`repro.cluster`) replays abstract request
+   traces — that is what the paper's figures use;
+2. this module generates *semantic* metadata operation streams (create /
+   stat / readdir / rename / lock mixes against a populated namespace) and
+   converts them into those same traces, so the figures can equally be
+   driven by an operation mix instead of an abstract arrival process.
+
+The generator populates each file set's namespace with a random directory
+tree, then emits operations with a configurable type mix, file-set
+popularity skew, and Poisson arrivals.  :func:`ops_to_trace` maps each
+operation to (time, file set, cost) using the per-type cost weights of
+:mod:`repro.fs.ops`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..sim.rng import StreamFactory
+from ..workloads.trace import Trace
+from .cluster import FileSetRegistry, MetadataCluster
+from .client import FileSystemClient
+from .ops import MEAN_WEIGHT, Operation, OpType
+
+#: A metadata-heavy operation mix (reads dominate, as in workstation
+#: traces like DFSTrace).
+DEFAULT_MIX: dict[OpType, float] = {
+    OpType.STAT: 0.35,
+    OpType.LOOKUP: 0.20,
+    OpType.READDIR: 0.12,
+    OpType.CREATE: 0.10,
+    OpType.SETATTR: 0.08,
+    OpType.UNLINK: 0.06,
+    OpType.LOCK: 0.05,
+    OpType.UNLOCK: 0.04,
+}
+
+
+@dataclass(frozen=True)
+class FsWorkloadConfig:
+    """Parameters for an FS-level operation stream."""
+
+    n_operations: int = 10_000
+    duration: float = 1_000.0
+    #: Zipf-ish skew across file sets (0 = uniform popularity).
+    popularity_skew: float = 1.0
+    #: Files created per file set during population.
+    files_per_fileset: int = 20
+    dirs_per_fileset: int = 4
+    #: Mean request cost in speed-1 seconds (for trace conversion).
+    mean_cost: float = 0.1
+    mix: dict[OpType, float] = field(default_factory=lambda: dict(DEFAULT_MIX))
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_operations < 0 or self.duration <= 0 or self.mean_cost <= 0:
+            raise ValueError("n_operations >= 0, duration/mean_cost > 0 required")
+        if not self.mix or any(v < 0 for v in self.mix.values()):
+            raise ValueError("mix must be non-empty with non-negative weights")
+
+
+def populate(
+    cluster: MetadataCluster, config: FsWorkloadConfig
+) -> dict[str, tuple[list[str], list[str]]]:
+    """Create directories and files in every file set; returns, per file
+    set, the global paths of its (files, directories)."""
+    client = FileSystemClient(cluster, name="populator")
+    created: dict[str, tuple[list[str], list[str]]] = {}
+    for fileset in cluster.registry.filesets:
+        root = cluster.registry.root_of(fileset)
+        files: list[str] = []
+        dirs: list[str] = []
+        for d in range(config.dirs_per_fileset):
+            dir_path = f"{root}/d{d:02d}" if root != "/" else f"/d{d:02d}"
+            client.mkdir(dir_path)
+            dirs.append(dir_path)
+            for f in range(config.files_per_fileset // max(config.dirs_per_fileset, 1)):
+                file_path = f"{dir_path}/f{f:03d}"
+                client.create(file_path)
+                files.append(file_path)
+        created[fileset] = (files, dirs)
+    return created
+
+
+def fileset_popularity(
+    registry: FileSetRegistry, skew: float, rng: np.random.Generator
+) -> dict[str, float]:
+    """Zipf-ish popularity over file sets, shuffled so rank != name order."""
+    names = list(registry.filesets)
+    ranks = np.arange(1, len(names) + 1, dtype=float)
+    weights = 1.0 / ranks ** max(skew, 0.0)
+    weights /= weights.sum()
+    rng.shuffle(names)
+    return dict(zip(names, weights))
+
+
+def generate_operations(
+    cluster: MetadataCluster,
+    config: FsWorkloadConfig | None = None,
+) -> list[Operation]:
+    """Populate the cluster's namespaces and emit a timed operation stream."""
+    cfg = config or FsWorkloadConfig()
+    factory = StreamFactory(cfg.seed)
+    created = populate(cluster, cfg)
+    pop_rng = factory.stream("fs-popularity")
+    popularity = fileset_popularity(cluster.registry, cfg.popularity_skew, pop_rng)
+
+    mix_types = list(cfg.mix)
+    mix_weights = np.array([cfg.mix[t] for t in mix_types], dtype=float)
+    mix_weights /= mix_weights.sum()
+
+    op_rng = factory.stream("fs-ops")
+    time_rng = factory.stream("fs-times")
+    names = list(popularity)
+    fs_weights = np.array([popularity[n] for n in names])
+    fs_weights /= fs_weights.sum()
+
+    times = np.sort(time_rng.uniform(0.0, cfg.duration, size=cfg.n_operations))
+    fs_choices = op_rng.choice(len(names), size=cfg.n_operations, p=fs_weights)
+    type_choices = op_rng.choice(len(mix_types), size=cfg.n_operations, p=mix_weights)
+
+    serial = 0
+    operations: list[Operation] = []
+    for i in range(cfg.n_operations):
+        fileset = names[int(fs_choices[i])]
+        op_type = mix_types[int(type_choices[i])]
+        files, dirs = created[fileset]
+        root = cluster.registry.root_of(fileset)
+        prefix = root if root != "/" else ""
+        client = f"client{int(op_rng.integers(0, 8)):02d}"
+        time = float(times[i])
+        if op_type in (OpType.CREATE, OpType.MKDIR):
+            serial += 1
+            path = f"{prefix}/d00/new{serial:06d}"
+        elif op_type is OpType.UNLINK:
+            # Create a dedicated victim first so the stream is replayable.
+            serial += 1
+            path = f"{prefix}/d01/victim{serial:06d}"
+            operations.append(
+                Operation(op=OpType.CREATE, path=path, client=client, time=time)
+            )
+        elif op_type is OpType.READDIR:
+            path = dirs[int(op_rng.integers(0, len(dirs)))]
+        elif op_type is OpType.UNLOCK:
+            # Pair the unlock with a shared lock so it always holds one.
+            path = files[int(op_rng.integers(0, len(files)))]
+            operations.append(
+                Operation(op=OpType.LOCK, path=path, client=client, time=time)
+            )
+        else:
+            path = files[int(op_rng.integers(0, len(files)))]
+        operations.append(
+            Operation(op=op_type, path=path, client=client, time=time)
+        )
+    return operations
+
+
+def ops_to_trace(
+    operations: list[Operation],
+    registry: FileSetRegistry,
+    mean_cost: float,
+    duration: float,
+) -> Trace:
+    """Convert an operation stream to a queueing-simulator trace.
+
+    Each record's cost is the operation's type weight scaled so the mean
+    over a uniform mix equals ``mean_cost`` (speed-1 seconds).
+    """
+    filesets = registry.filesets
+    index = {name: i for i, name in enumerate(filesets)}
+    times = np.array([op.time for op in operations])
+    ids = np.array([index[registry.fileset_of(op.path)] for op in operations],
+                   dtype=np.int64)
+    costs = np.array(
+        [mean_cost * op.op.weight / MEAN_WEIGHT for op in operations]
+    )
+    order = np.argsort(times, kind="stable")
+    return Trace(times[order], ids[order], costs[order], filesets,
+                 duration=duration)

@@ -1,0 +1,154 @@
+"""Post-processing analysis of latency series.
+
+The figure benches repeatedly need the same three questions answered:
+
+- *when did the system converge?* — the paper's "over the first 3 sample
+  periods ANU adapts";
+- *where are the spikes?* — the weak server's acquire-and-shed episodes
+  in Figures 9–10;
+- *how do phases compare?* — before/after a failure, per workload phase.
+
+This module answers them from a :class:`repro.metrics.latency.LatencySeries`
+so benches and tests share one (tested) implementation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .latency import LatencySeries
+
+
+def worst_per_window(series: LatencySeries) -> np.ndarray:
+    """Max over servers of the windowed mean latency, per window."""
+    stacked = np.stack([series.mean_latency[s] for s in series.servers])
+    return stacked.max(axis=0)
+
+
+def convergence_time(
+    series: LatencySeries,
+    threshold: float,
+    stable_windows: int = 3,
+) -> float | None:
+    """First time after which the worst server stays below ``threshold``
+    for at least ``stable_windows`` consecutive windows.
+
+    Returns the start time of the stable run, or None if the series never
+    stabilizes.  This is the quantitative form of the paper's "reaching a
+    good load balance" claim.
+    """
+    if stable_windows < 1:
+        raise ValueError(f"stable_windows must be >= 1, got {stable_windows!r}")
+    worst = worst_per_window(series)
+    below = worst < threshold
+    run = 0
+    for i, ok in enumerate(below):
+        run = run + 1 if ok else 0
+        if run >= stable_windows:
+            return float(series.times[i - stable_windows + 1])
+    return None
+
+
+@dataclass(frozen=True)
+class Spike:
+    """One latency excursion of a server above a threshold."""
+
+    server: str
+    start: float
+    end: float
+    peak: float
+
+
+def find_spikes(
+    series: LatencySeries, server: str, threshold: float
+) -> list[Spike]:
+    """Contiguous runs of windows where the server's latency >= threshold.
+
+    The instrument behind the over-tuning figures: the aggressive variant
+    produces many short spikes on the weakest server; the cured variant
+    only the initial convergence one.
+    """
+    lat = series.mean_latency[server]
+    window = series.window
+    spikes: list[Spike] = []
+    start = None
+    peak = 0.0
+    for i, v in enumerate(lat):
+        if v >= threshold:
+            if start is None:
+                start = float(series.times[i])
+                peak = 0.0
+            peak = max(peak, float(v))
+        elif start is not None:
+            spikes.append(Spike(server=server, start=start,
+                                end=float(series.times[i]), peak=peak))
+            start = None
+    if start is not None:
+        spikes.append(Spike(
+            server=server, start=start,
+            end=float(series.times[-1]) + window, peak=peak,
+        ))
+    return spikes
+
+
+def phase_means(
+    series: LatencySeries, boundaries: list[float]
+) -> list[dict[str, float]]:
+    """Request-weighted mean latency per server within each phase.
+
+    ``boundaries`` are the phase edges (len k+1 for k phases); windows are
+    binned by their start time.
+    """
+    if len(boundaries) < 2 or any(
+        b >= c for b, c in zip(boundaries, boundaries[1:])
+    ):
+        raise ValueError("boundaries must be increasing with >= 2 entries")
+    out: list[dict[str, float]] = []
+    times = series.times
+    for lo, hi in zip(boundaries, boundaries[1:]):
+        mask = (times >= lo) & (times < hi)
+        phase: dict[str, float] = {}
+        for server in series.servers:
+            cnt = series.counts[server][mask]
+            lat = series.mean_latency[server][mask]
+            total = cnt.sum()
+            phase[server] = float((lat * cnt).sum() / total) if total else 0.0
+        out.append(phase)
+    return out
+
+
+def count_idle_hot_cycles(
+    series: LatencySeries, server: str, hot: float, idle_fraction: float = 0.1
+) -> int:
+    """Count idle -> hot transitions of one server's windowed latency.
+
+    The paper's over-tuning signature (§6): the weakest server "cyclically
+    takes on workload, exhibits high latency, releases workload, and goes
+    to zero latency".  A cycle is counted each time the latency crosses
+    ``hot`` after having been below ``hot * idle_fraction``.
+    """
+    if hot <= 0:
+        raise ValueError(f"hot threshold must be positive, got {hot!r}")
+    lat = series.mean_latency[server]
+    count = 0
+    armed = True
+    for v in lat:
+        if v <= hot * idle_fraction:
+            armed = True
+        elif v >= hot and armed:
+            count += 1
+            armed = False
+    return count
+
+
+def settled_fraction(
+    series: LatencySeries, threshold: float
+) -> float:
+    """Fraction of windows where the whole cluster sits below threshold —
+    a single stability score for a run."""
+    worst = worst_per_window(series)
+    if len(worst) == 0:
+        return 1.0
+    return float((worst < threshold).mean())

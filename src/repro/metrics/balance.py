@@ -1,0 +1,111 @@
+"""Load-balance metrics over per-server quantities.
+
+The paper argues quality of balance qualitatively from latency plots; these
+standard metrics quantify the same comparisons in the benchmark tables:
+
+- coefficient of variation (CoV) — 0 for perfect balance;
+- max/mean ratio (load skew) — 1 for perfect balance;
+- Jain's fairness index — 1 for perfect balance, 1/n for a single hot spot;
+- Gini coefficient — 0 for perfect balance.
+
+All functions accept either a mapping server→value or a plain sequence, and
+support capacity *weights* so "balance" means equal latency / equal
+utilization rather than equal raw load (the correct notion for
+heterogeneous servers).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+import numpy as np
+
+
+def _values(
+    load: Mapping[str, float] | Sequence[float],
+    weights: Mapping[str, float] | Sequence[float] | None = None,
+) -> np.ndarray:
+    if isinstance(load, Mapping):
+        keys = sorted(load)
+        vals = np.array([float(load[k]) for k in keys])
+        if weights is not None:
+            if not isinstance(weights, Mapping):
+                raise TypeError("weights must be a mapping when load is a mapping")
+            w = np.array([float(weights[k]) for k in keys])
+            vals = vals / w
+    else:
+        vals = np.asarray(list(load), dtype=float)
+        if weights is not None:
+            w = np.asarray(list(weights), dtype=float)
+            if len(w) != len(vals):
+                raise ValueError("weights length mismatch")
+            vals = vals / w
+    if np.any(vals < 0):
+        raise ValueError("negative load values")
+    return vals
+
+
+def coefficient_of_variation(
+    load: Mapping[str, float] | Sequence[float],
+    weights: Mapping[str, float] | Sequence[float] | None = None,
+) -> float:
+    """Std/mean of (optionally capacity-normalized) loads; 0 when balanced."""
+    vals = _values(load, weights)
+    mean = vals.mean() if len(vals) else 0.0
+    if mean == 0:
+        return 0.0
+    return float(vals.std() / mean)
+
+
+def max_over_mean(
+    load: Mapping[str, float] | Sequence[float],
+    weights: Mapping[str, float] | Sequence[float] | None = None,
+) -> float:
+    """Load skew: max/mean; 1 when balanced."""
+    vals = _values(load, weights)
+    mean = vals.mean() if len(vals) else 0.0
+    if mean == 0:
+        return 1.0
+    return float(vals.max() / mean)
+
+
+def jain_fairness(
+    load: Mapping[str, float] | Sequence[float],
+    weights: Mapping[str, float] | Sequence[float] | None = None,
+) -> float:
+    """Jain's index (sum x)^2 / (n * sum x^2); 1 when balanced."""
+    vals = _values(load, weights)
+    if len(vals) == 0:
+        return 1.0
+    denom = len(vals) * float((vals**2).sum())
+    if denom == 0:
+        return 1.0
+    return float(vals.sum()) ** 2 / denom
+
+
+def gini(
+    load: Mapping[str, float] | Sequence[float],
+    weights: Mapping[str, float] | Sequence[float] | None = None,
+) -> float:
+    """Gini coefficient; 0 when balanced, →1 for extreme concentration."""
+    vals = np.sort(_values(load, weights))
+    n = len(vals)
+    total = vals.sum()
+    if n == 0 or total == 0:
+        return 0.0
+    # Standard closed form over sorted values.
+    index = np.arange(1, n + 1)
+    return float((2.0 * (index * vals).sum() / (n * total)) - (n + 1) / n)
+
+
+def balance_summary(
+    load: Mapping[str, float],
+    weights: Mapping[str, float] | None = None,
+) -> dict[str, float]:
+    """All four metrics at once (for report tables)."""
+    return {
+        "cov": coefficient_of_variation(load, weights),
+        "max_over_mean": max_over_mean(load, weights),
+        "jain": jain_fairness(load, weights),
+        "gini": gini(load, weights),
+    }

@@ -1,0 +1,167 @@
+"""Per-server latency collection and windowed series.
+
+The paper's figures plot, for each server, the mean request latency in
+successive sample windows ("the latency of each server is collected over a
+specified interval of time and written into a log file", §7).  The
+:class:`LatencyCollector` stores raw (completion time, latency) samples per
+server and produces:
+
+- :meth:`LatencyCollector.interval_report` — mean latency + count over an
+  arbitrary window (what each server reports to the delegate);
+- :meth:`LatencyCollector.series` — the fixed-window time series a figure
+  plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..core.tuning import ServerReport
+
+
+@dataclass
+class LatencySeries:
+    """A per-server windowed latency series (one figure panel)."""
+
+    window: float
+    #: Window-start times (seconds).
+    times: np.ndarray
+    #: server -> mean latency per window (NaN-free: empty windows are 0).
+    mean_latency: dict[str, np.ndarray]
+    #: server -> request count per window.
+    counts: dict[str, np.ndarray]
+
+    @property
+    def servers(self) -> list[str]:
+        return sorted(self.mean_latency)
+
+    def peak(self, server: str) -> float:
+        """Highest windowed mean latency for ``server``."""
+        arr = self.mean_latency[server]
+        return float(arr.max()) if len(arr) else 0.0
+
+    def mean_over_run(self, server: str) -> float:
+        """Request-weighted mean latency for ``server`` over the whole run."""
+        lat = self.mean_latency[server]
+        cnt = self.counts[server]
+        total = cnt.sum()
+        return float((lat * cnt).sum() / total) if total else 0.0
+
+    def tail_window_mean(self, server: str, windows: int) -> float:
+        """Request-weighted mean latency over the last ``windows`` windows."""
+        lat = self.mean_latency[server][-windows:]
+        cnt = self.counts[server][-windows:]
+        total = cnt.sum()
+        return float((lat * cnt).sum() / total) if total else 0.0
+
+
+@dataclass
+class LatencyCollector:
+    """Accumulates (completion time, latency) samples per server."""
+
+    _samples: dict[str, list[tuple[float, float]]] = field(default_factory=dict)
+
+    def ensure_server(self, server: str) -> None:
+        """Register a server so it appears in series even if idle."""
+        self._samples.setdefault(server, [])
+
+    def record(self, server: str, completion_time: float, latency: float) -> None:
+        """Add one (completion time, latency) sample."""
+        if latency < 0:
+            raise ValueError(f"negative latency {latency!r}")
+        self._samples.setdefault(server, []).append((completion_time, latency))
+
+    # ------------------------------------------------------------------
+    def interval_report(
+        self, server: str, start: float, end: float
+    ) -> ServerReport:
+        """Mean latency and count for completions in [start, end)."""
+        samples = self._samples.get(server, [])
+        total = 0.0
+        count = 0
+        for t, lat in reversed(samples):
+            if t < start:
+                break
+            if t < end:
+                total += lat
+                count += 1
+        mean = total / count if count else 0.0
+        return ServerReport(name=server, mean_latency=mean, request_count=count)
+
+    def reports(self, servers: list[str], start: float, end: float) -> list[ServerReport]:
+        """Interval reports for every listed server (absent servers report 0)."""
+        return [self.interval_report(s, start, end) for s in servers]
+
+    # ------------------------------------------------------------------
+    def series(self, duration: float, window: float) -> LatencySeries:
+        """Bin all samples into fixed windows covering [0, duration)."""
+        if window <= 0 or duration <= 0:
+            raise ValueError("window and duration must be positive")
+        n_windows = int(np.ceil(duration / window))
+        edges = np.arange(n_windows + 1) * window
+        mean_latency: dict[str, np.ndarray] = {}
+        counts: dict[str, np.ndarray] = {}
+        for server, samples in self._samples.items():
+            if samples:
+                t = np.array([s[0] for s in samples])
+                lat = np.array([s[1] for s in samples])
+                idx = np.clip((t // window).astype(int), 0, n_windows - 1)
+                cnt = np.bincount(idx, minlength=n_windows).astype(float)
+                tot = np.bincount(idx, weights=lat, minlength=n_windows)
+                with np.errstate(invalid="ignore"):
+                    mean = np.where(cnt > 0, tot / np.maximum(cnt, 1), 0.0)
+            else:
+                cnt = np.zeros(n_windows)
+                mean = np.zeros(n_windows)
+            mean_latency[server] = mean
+            counts[server] = cnt
+        return LatencySeries(
+            window=window,
+            times=edges[:-1],
+            mean_latency=mean_latency,
+            counts=counts,
+        )
+
+    def sample_count(self, server: str | None = None) -> int:
+        """Samples recorded for one server (or all)."""
+        if server is not None:
+            return len(self._samples.get(server, []))
+        return sum(len(v) for v in self._samples.values())
+
+    def percentile(
+        self,
+        q: float,
+        server: str | None = None,
+        start: float = 0.0,
+        end: float = float("inf"),
+    ) -> float:
+        """The q-th latency percentile (q in [0, 100]) over [start, end).
+
+        ``server=None`` pools samples from every server — the system-wide
+        tail a client experiences.  Returns 0.0 with no samples.
+        """
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"q must be in [0, 100], got {q!r}")
+        if server is not None:
+            pools = [self._samples.get(server, [])]
+        else:
+            pools = list(self._samples.values())
+        values = [
+            lat for pool in pools for (t, lat) in pool if start <= t < end
+        ]
+        if not values:
+            return 0.0
+        return float(np.percentile(np.asarray(values), q))
+
+    def tail_summary(
+        self, server: str | None = None
+    ) -> dict[str, float]:
+        """p50/p95/p99/max of all samples (tables and benches)."""
+        return {
+            "p50": self.percentile(50.0, server),
+            "p95": self.percentile(95.0, server),
+            "p99": self.percentile(99.0, server),
+            "max": self.percentile(100.0, server),
+        }

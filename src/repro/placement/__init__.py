@@ -1,0 +1,34 @@
+"""Placement policies: ANU randomization and the paper's baselines.
+
+- :class:`~repro.placement.anu_policy.ANUPolicy` — the paper's algorithm;
+- :class:`~repro.placement.anu_policy.DecentralizedANUPolicy` — §5 variant;
+- :class:`~repro.placement.simple_random.SimpleRandomPolicy` — static random;
+- :class:`~repro.placement.round_robin.RoundRobinPolicy` — static equal-count;
+- :class:`~repro.placement.prescient.PrescientPolicy` — perfect-knowledge LPT;
+- :class:`~repro.placement.consistent_hash.ConsistentHashPolicy` — related-work
+  baseline.
+"""
+
+from .anu_policy import ANUPolicy, DecentralizedANUPolicy
+from .base import PlacementPolicy, TuningContext, validate_assignment
+from .consistent_hash import ConsistentHashPolicy, ConsistentHashRing
+from .prescient import PrescientPolicy, lpt_assign, predicted_makespan
+from .round_robin import RoundRobinPolicy
+from .simple_random import SimpleRandomPolicy
+from .two_choice import TwoChoicePolicy
+
+__all__ = [
+    "PlacementPolicy",
+    "TuningContext",
+    "validate_assignment",
+    "ANUPolicy",
+    "DecentralizedANUPolicy",
+    "SimpleRandomPolicy",
+    "TwoChoicePolicy",
+    "RoundRobinPolicy",
+    "PrescientPolicy",
+    "lpt_assign",
+    "predicted_makespan",
+    "ConsistentHashPolicy",
+    "ConsistentHashRing",
+]

@@ -1,0 +1,171 @@
+"""ANU randomization wrapped as a placement policy.
+
+This adapter connects the pure core (:class:`repro.core.anu.ANUPlacement`
+plus a tuner) to the policy protocol the cluster simulation drives.  Two
+tuner flavours are supported:
+
+- :class:`ANUPolicy` — the paper's algorithm: a central elected delegate
+  (:class:`repro.core.tuning.DelegateTuner`) rescales mapped regions from
+  latency reports each interval;
+- :class:`DecentralizedANUPolicy` — the §5 future-work variant using
+  pair-wise exchanges (:class:`repro.core.decentralized.PairwiseTuner`).
+
+The policy models delegate failure: if ``delegate_failed`` is set for an
+interval, the previous reports are discarded (the replacement delegate is
+stateless), which disables the divergent gate for that round exactly as the
+paper describes.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.anu import ANUPlacement
+from ..core.decentralized import PairwiseConfig, PairwiseTuner
+from ..core.hashing import HashFamily
+from ..core.tuning import DelegateTuner, ServerReport, TuningConfig
+from .base import PlacementPolicy, TuningContext
+
+
+class ANUPolicy(PlacementPolicy):
+    """Adaptive non-uniform randomization with a central delegate."""
+
+    name = "anu"
+
+    def __init__(
+        self,
+        config: TuningConfig | None = None,
+        hash_family: HashFamily | None = None,
+    ) -> None:
+        self.tuner = DelegateTuner(config)
+        self._hash_family = hash_family
+        self.placement: ANUPlacement | None = None
+        self._previous_reports: Sequence[ServerReport] | None = None
+        self.delegate_failed = False
+        self.decisions: list[float] = []  # average latency per round, for tests
+        #: (time, server -> share fraction) after each tuning round —
+        #: the region-evolution record behind Figures 3-5's dynamics.
+        self.share_history: list[tuple[float, dict[str, float]]] = []
+
+    # ------------------------------------------------------------------
+    def initial_assignment(
+        self, filesets: Sequence[str], servers: Sequence[str]
+    ) -> dict[str, str]:
+        # "ANU randomization has no a-priori knowledge and therefore assumes
+        # initially that all file sets and all servers are uniform."
+        self.placement = ANUPlacement(servers, hash_family=self._hash_family)
+        self._previous_reports = None
+        return self.placement.assignment(filesets)
+
+    def update(self, context: TuningContext) -> dict[str, str] | None:
+        placement = self._require_placement()
+        previous = None if self.delegate_failed else self._previous_reports
+        self.delegate_failed = False
+        decision = self.tuner.compute(
+            placement.shares(), context.reports, previous
+        )
+        self.decisions.append(decision.average)
+        self._previous_reports = list(context.reports)
+        if not decision.tuned:
+            return None
+        placement.set_shares(decision.new_shares)
+        placement.check_invariants()
+        self.share_history.append((
+            context.time,
+            {s: placement.interval.share_fraction(s) for s in placement.servers},
+        ))
+        return placement.assignment(context.filesets)
+
+    def on_membership_change(
+        self,
+        filesets: Sequence[str],
+        servers: Sequence[str],
+        assignment: Mapping[str, str],
+    ) -> dict[str, str]:
+        placement = self._require_placement()
+        current = set(placement.servers)
+        target = set(servers)
+        for name in sorted(current - target):
+            placement.remove_server(name)
+        for name in sorted(target - current):
+            placement.add_server(name)
+        placement.check_invariants()
+        # A membership change invalidates latency history: the region scales
+        # changed for a non-workload reason.
+        self._previous_reports = None
+        return placement.assignment(filesets)
+
+    # ------------------------------------------------------------------
+    def fail_delegate(self) -> None:
+        """Simulate the delegate crashing before the next tuning round."""
+        self.delegate_failed = True
+
+    def _require_placement(self) -> ANUPlacement:
+        if self.placement is None:
+            raise RuntimeError("policy used before initial_assignment()")
+        return self.placement
+
+
+class DecentralizedANUPolicy(PlacementPolicy):
+    """ANU with pair-wise peer-to-peer tuning instead of a delegate."""
+
+    name = "anu-decentralized"
+
+    def __init__(
+        self,
+        config: PairwiseConfig | None = None,
+        hash_family: HashFamily | None = None,
+        rounds_per_interval: int = 1,
+    ) -> None:
+        if rounds_per_interval < 1:
+            raise ValueError(
+                f"rounds_per_interval must be >= 1, got {rounds_per_interval!r}"
+            )
+        self.tuner = PairwiseTuner(config)
+        self._hash_family = hash_family
+        self.rounds_per_interval = rounds_per_interval
+        self.placement: ANUPlacement | None = None
+        self.exchange_log: list[int] = []
+
+    def initial_assignment(
+        self, filesets: Sequence[str], servers: Sequence[str]
+    ) -> dict[str, str]:
+        self.placement = ANUPlacement(servers, hash_family=self._hash_family)
+        return self.placement.assignment(filesets)
+
+    def update(self, context: TuningContext) -> dict[str, str] | None:
+        placement = self.placement
+        if placement is None:
+            raise RuntimeError("policy used before initial_assignment()")
+        shares: dict[str, float] = {
+            k: float(v) for k, v in placement.shares().items()
+        }
+        exchanged = 0
+        for _ in range(self.rounds_per_interval):
+            shares, exchanges = self.tuner.compute(
+                shares, context.reports, context.rng
+            )
+            exchanged += len(exchanges)
+        self.exchange_log.append(exchanged)
+        if exchanged == 0:
+            return None
+        placement.set_shares(shares)
+        placement.check_invariants()
+        return placement.assignment(context.filesets)
+
+    def on_membership_change(
+        self,
+        filesets: Sequence[str],
+        servers: Sequence[str],
+        assignment: Mapping[str, str],
+    ) -> dict[str, str]:
+        placement = self.placement
+        if placement is None:
+            raise RuntimeError("policy used before initial_assignment()")
+        current = set(placement.servers)
+        target = set(servers)
+        for name in sorted(current - target):
+            placement.remove_server(name)
+        for name in sorted(target - current):
+            placement.add_server(name)
+        return placement.assignment(filesets)

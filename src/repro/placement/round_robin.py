@@ -1,0 +1,44 @@
+"""Round-robin placement: the paper's second static baseline.
+
+"Round-robin placement ... assigns the same number of file sets to each
+server" (§7).  Counts are equal to within one, but the policy is blind to
+both server speed and per-file-set workload, so heterogeneity defeats it
+exactly as simple randomization is defeated — the comparison isolates the
+effect of hashing variance (round-robin has none) from the effect of
+heterogeneity (which neither handles).
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from .base import PlacementPolicy
+
+
+class RoundRobinPolicy(PlacementPolicy):
+    """Static equal-count placement, file sets dealt in sorted order."""
+
+    name = "round-robin"
+
+    def initial_assignment(
+        self, filesets: Sequence[str], servers: Sequence[str]
+    ) -> dict[str, str]:
+        ordered_servers = sorted(servers)
+        if not ordered_servers:
+            raise ValueError("no servers")
+        return {
+            name: ordered_servers[i % len(ordered_servers)]
+            for i, name in enumerate(sorted(filesets))
+        }
+
+    def on_membership_change(
+        self,
+        filesets: Sequence[str],
+        servers: Sequence[str],
+        assignment: Mapping[str, str],
+    ) -> dict[str, str]:
+        # Equal counts are positional: a membership change re-deals the
+        # whole table.  This is exactly the movement cost the paper holds
+        # against table-based placement (§5) and what the movement
+        # ablation measures.
+        return self.initial_assignment(filesets, servers)

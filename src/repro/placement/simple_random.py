@@ -1,0 +1,36 @@
+"""Simple randomization: the paper's first static baseline.
+
+"Simple randomization ... assigns each file set to a randomly-chosen
+server" (§7).  The choice is by deterministic hash of the file-set name so
+every node computes the same placement without coordination — this is the
+scheme peer-to-peer systems rely on, and the paper's point is that it
+cannot cope with server or workload heterogeneity because the expected
+number of file sets per server is uniform regardless of server speed.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..core.hashing import hash_to_choice
+from .base import PlacementPolicy
+
+
+class SimpleRandomPolicy(PlacementPolicy):
+    """Static uniform-random placement by hashing file-set names."""
+
+    name = "simple-random"
+
+    def __init__(self, namespace: str = "simple-random") -> None:
+        self.namespace = namespace
+
+    def initial_assignment(
+        self, filesets: Sequence[str], servers: Sequence[str]
+    ) -> dict[str, str]:
+        ordered = sorted(servers)
+        if not ordered:
+            raise ValueError("no servers")
+        return {
+            name: ordered[hash_to_choice(name, 0, len(ordered), self.namespace)]
+            for name in filesets
+        }

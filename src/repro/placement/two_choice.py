@@ -1,0 +1,93 @@
+"""Two-choices randomized placement: the §3 Mitzenmacher baseline.
+
+The paper's related work cites "the power of two choices in randomized
+load balancing" (Mitzenmacher): assign each ball to the less-loaded of two
+random bins, collapsing the max load from ``Θ(log n / log log n)`` to
+``Θ(log log n)``.  As a placement policy it needs a *placement-time* load
+table (unlike pure hashing), but remains static afterwards and — like all
+load-oblivious schemes — cannot react to server speed or per-file-set
+workload heterogeneity.  It slots between simple randomization and ANU:
+better initial spread, same inability to adapt.
+
+Two flavours:
+
+- count-balanced (classic): pick the candidate with fewer file sets;
+- weight-aware: pick by (count / speed) when speeds are granted, the
+  static-knowledge analogue of capacity-weighted placement.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from ..core.hashing import hash_to_choice
+from .base import PlacementPolicy
+
+
+class TwoChoicePolicy(PlacementPolicy):
+    """d=2 balanced-allocation placement (static after placement)."""
+
+    name = "two-choice"
+
+    def __init__(self, namespace: str = "two-choice") -> None:
+        self.namespace = namespace
+        self._weights: Mapping[str, float] | None = None
+
+    def grant_weights(self, weights: Mapping[str, float]) -> None:
+        """Optional static capacity weights (e.g. server speeds)."""
+        if any(v <= 0 for v in weights.values()):
+            raise ValueError("weights must be positive")
+        self._weights = dict(weights)
+
+    def _candidates(self, name: str, servers: Sequence[str]) -> tuple[str, str]:
+        ordered = sorted(servers)
+        a = ordered[hash_to_choice(name, 0, len(ordered), self.namespace)]
+        b = ordered[hash_to_choice(name, 1, len(ordered), self.namespace)]
+        return a, b
+
+    def initial_assignment(
+        self, filesets: Sequence[str], servers: Sequence[str]
+    ) -> dict[str, str]:
+        if not servers:
+            raise ValueError("no servers")
+        load: dict[str, float] = {s: 0.0 for s in servers}
+        weights = self._weights or {}
+        assignment: dict[str, str] = {}
+        for name in sorted(filesets):
+            a, b = self._candidates(name, servers)
+            wa = weights.get(a, 1.0)
+            wb = weights.get(b, 1.0)
+            # Less (capacity-normalized) load wins; ties to the first.
+            chosen = a if load[a] / wa <= load[b] / wb else b
+            assignment[name] = chosen
+            load[chosen] += 1.0
+        return assignment
+
+    def on_membership_change(
+        self,
+        filesets: Sequence[str],
+        servers: Sequence[str],
+        assignment: Mapping[str, str],
+    ) -> dict[str, str]:
+        """Re-place orphans only, by two-choices over the survivors with
+        the surviving loads as the starting point."""
+        live = set(servers)
+        load: dict[str, float] = {s: 0.0 for s in servers}
+        weights = self._weights or {}
+        new = {}
+        orphans = []
+        for name in sorted(filesets):
+            owner = assignment.get(name)
+            if owner in live:
+                new[name] = owner
+                load[owner] += 1.0
+            else:
+                orphans.append(name)
+        for name in orphans:
+            a, b = self._candidates(name, sorted(live))
+            wa = weights.get(a, 1.0)
+            wb = weights.get(b, 1.0)
+            chosen = a if load[a] / wa <= load[b] / wb else b
+            new[name] = chosen
+            load[chosen] += 1.0
+        return new

@@ -1,0 +1,36 @@
+"""Control-plane protocol (the §4 delegate machinery).
+
+- :class:`~repro.proto.network.Network` — simulated lossy datagram network;
+- :class:`~repro.proto.node.ServerNode` — bully election, heartbeats,
+  report collection, versioned config distribution;
+- :class:`~repro.proto.control.ControlPlane` — full-cluster harness.
+"""
+
+from .control import ControlPlane
+from .messages import (
+    ConfigUpdate,
+    Coordinator,
+    Election,
+    ElectionOk,
+    Heartbeat,
+    ReportReply,
+    ReportRequest,
+)
+from .network import Network, NetworkConfig, NetworkError
+from .node import ProtocolConfig, ServerNode
+
+__all__ = [
+    "ControlPlane",
+    "Network",
+    "NetworkConfig",
+    "NetworkError",
+    "ServerNode",
+    "ProtocolConfig",
+    "Heartbeat",
+    "ReportRequest",
+    "ReportReply",
+    "ConfigUpdate",
+    "Election",
+    "ElectionOk",
+    "Coordinator",
+]

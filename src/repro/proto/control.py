@@ -1,0 +1,132 @@
+"""Control-plane harness: wire nodes, network, and an ANU placement.
+
+:class:`ControlPlane` assembles a full §4 control plane on one simulation
+engine: N server nodes with bully election and heartbeats, a lossy
+network, per-node latency sources, and (optionally) a shared
+:class:`repro.core.anu.ANUPlacement` that every node's applied configs
+drive — demonstrating that the replicated state really is just the region
+map.
+
+Intended for tests, the protocol example, and the protocol ablation bench;
+the queueing figures use the simpler direct-call delegate in
+:mod:`repro.cluster` (protocol latencies are microscopic next to 2-minute
+tuning intervals, so the figures are unaffected — the interesting protocol
+behaviour is fail-over, which is what this harness exercises).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..core.tuning import ServerReport, TuningConfig
+from ..sim.engine import Engine
+from ..sim.rng import StreamFactory
+from .network import Network, NetworkConfig
+from .node import ProtocolConfig, ServerNode
+
+
+class ControlPlane:
+    """N protocol nodes + network + optional shared latency model."""
+
+    def __init__(
+        self,
+        n_nodes: int,
+        seed: int = 0,
+        network_config: NetworkConfig | None = None,
+        protocol_config: ProtocolConfig | None = None,
+        tuning: TuningConfig | None = None,
+        latency_model: Callable[[str, float], ServerReport] | None = None,
+    ) -> None:
+        """``latency_model(name, now)`` supplies each node's report; the
+        default reports constant equal latency (nothing to tune)."""
+        if n_nodes < 1:
+            raise ValueError("need at least one node")
+        self.engine = Engine()
+        factory = StreamFactory(seed)
+        self.network = Network(
+            self.engine, factory.stream("network"), network_config
+        )
+        self._latency_model = latency_model or (
+            lambda name, now: ServerReport(name, 0.01, 100)
+        )
+        names = [f"node{i:02d}" for i in range(n_nodes)]
+        initial = {name: 1.0 for name in names}
+        self.nodes: dict[str, ServerNode] = {}
+        self.config_log: list[tuple[float, str, int]] = []
+        for i, name in enumerate(names):
+            node = ServerNode(
+                name=name,
+                priority=i,
+                engine=self.engine,
+                network=self.network,
+                report_source=self._make_source(name),
+                on_config=self._make_sink(name),
+                config=protocol_config,
+                tuning=tuning,
+                initial_shares=dict(initial),
+            )
+            self.nodes[name] = node
+
+    def _make_source(self, name: str):
+        return lambda: self._latency_model(name, self.engine.now)
+
+    def _make_sink(self, name: str):
+        def sink(shares: Mapping[str, float], epoch: int) -> None:
+            self.config_log.append((self.engine.now, name, epoch))
+
+        return sink
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Start every node (they race the bootstrap election)."""
+        for node in self.nodes.values():
+            node.start()
+
+    def run_until(self, time: float) -> None:
+        """Advance the simulation clock to ``time``."""
+        self.engine.run(until=time)
+
+    # ------------------------------------------------------------------
+    def crash(self, name: str) -> None:
+        """Crash the named node."""
+        self.nodes[name].crash()
+
+    def recover(self, name: str) -> None:
+        """Recover the named node."""
+        self.nodes[name].recover()
+
+    # ------------------------------------------------------------------
+    @property
+    def live_nodes(self) -> list[str]:
+        return sorted(n for n, node in self.nodes.items() if node.alive)
+
+    def current_delegate(self) -> str | None:
+        """The delegate as seen by a majority of live nodes (None if the
+        cluster disagrees)."""
+        views: dict[str, int] = {}
+        for node in self.nodes.values():
+            if node.alive and node.delegate is not None:
+                views[node.delegate] = views.get(node.delegate, 0) + 1
+        if not views:
+            return None
+        best, votes = max(views.items(), key=lambda kv: kv[1])
+        return best if votes > len(self.live_nodes) // 2 else None
+
+    def agreed_epoch(self) -> int | None:
+        """The config epoch if all live nodes agree, else None."""
+        epochs = {n.epoch for n in self.nodes.values() if n.alive}
+        return epochs.pop() if len(epochs) == 1 else None
+
+    def shares_agree(self, tolerance: float = 1e-9) -> bool:
+        """True when every live node holds the same share map."""
+        live = [n for n in self.nodes.values() if n.alive]
+        if not live:
+            return True
+        reference = live[0].shares
+        for node in live[1:]:
+            if set(node.shares) != set(reference):
+                return False
+            for key, value in reference.items():
+                if abs(node.shares[key] - value) > tolerance:
+                    return False
+        return True

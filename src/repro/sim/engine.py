@@ -1,0 +1,136 @@
+"""Discrete-event simulation engine.
+
+A minimal, deterministic replacement for the YACSIM toolkit the paper used
+(Jump, Rice University, 1993).  The engine owns a simulation clock and an
+event calendar (binary heap).  Model code schedules callbacks with
+:meth:`Engine.schedule` / :meth:`Engine.schedule_at` and runs the simulation
+with :meth:`Engine.run`.
+
+Determinism: events at equal time fire in (priority, insertion order); all
+randomness in models must come from seeded generators (:mod:`repro.sim.rng`),
+so a simulation is a pure function of its configuration and seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from .events import PRIORITY_NORMAL, Event, SimulationError
+
+
+class Engine:
+    """The simulation clock and event calendar."""
+
+    def __init__(self, start_time: float = 0.0) -> None:
+        self._now = float(start_time)
+        self._calendar: list[Event] = []
+        self._running = False
+        self._events_fired = 0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulated time (seconds, by convention)."""
+        return self._now
+
+    @property
+    def events_fired(self) -> int:
+        """Number of events executed so far (for instrumentation)."""
+        return self._events_fired
+
+    @property
+    def pending(self) -> int:
+        """Number of events still on the calendar (including cancelled)."""
+        return len(self._calendar)
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        delay: float,
+        action: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``action(*args)`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay {delay!r}")
+        return self.schedule_at(self._now + delay, action, *args, priority=priority)
+
+    def schedule_at(
+        self,
+        time: float,
+        action: Callable[..., None],
+        *args: Any,
+        priority: int = PRIORITY_NORMAL,
+    ) -> Event:
+        """Schedule ``action(*args)`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r} before now={self._now!r}"
+            )
+        event = Event(time=time, priority=priority, action=action, args=args)
+        heapq.heappush(self._calendar, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Fire the next non-cancelled event.  Returns False when empty."""
+        while self._calendar:
+            event = heapq.heappop(self._calendar)
+            if event.cancelled:
+                continue
+            self._now = event.time
+            self._events_fired += 1
+            event.fire()
+            return True
+        return False
+
+    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+        """Run until the calendar drains, ``until`` is reached, or
+        ``max_events`` have fired.  Returns the final clock value.
+
+        When ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fires earlier, mirroring YACSIM's
+        ``simulate(t)``.
+        """
+        if self._running:
+            raise SimulationError("engine is not reentrant")
+        self._running = True
+        fired = 0
+        try:
+            while self._calendar:
+                if max_events is not None and fired >= max_events:
+                    break
+                nxt = self._peek()
+                if nxt is None:
+                    break
+                if until is not None and nxt.time > until:
+                    break
+                if self.step():
+                    fired += 1
+            if until is not None and self._now < until:
+                self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def _peek(self) -> Event | None:
+        """Next live event without popping it (drops cancelled heads)."""
+        while self._calendar:
+            head = self._calendar[0]
+            if head.cancelled:
+                heapq.heappop(self._calendar)
+                continue
+            return head
+        return None
+
+    def drain(self) -> None:
+        """Discard all pending events (used by tests and teardown)."""
+        self._calendar.clear()

@@ -1,0 +1,67 @@
+"""Event primitives for the discrete-event simulation engine.
+
+The engine (:mod:`repro.sim.engine`) schedules :class:`Event` objects on a
+calendar (a binary heap).  Events carry a callback and arbitrary positional
+arguments; ties in simulated time are broken first by an integer ``priority``
+(lower fires first) and then by insertion order, so the simulation is fully
+deterministic for a fixed seed.
+
+This module is the bottom layer of our YACSIM substitute (see DESIGN.md §2):
+YACSIM's "event" and "activity" notions map to :class:`Event` plus the
+process layer in :mod:`repro.sim.process`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+#: Default priority for ordinary events.
+PRIORITY_NORMAL = 0
+#: Priority for bookkeeping events that must observe a time step before
+#: ordinary events fire (e.g. statistics snapshots).
+PRIORITY_EARLY = -10
+#: Priority for events that must run after all ordinary events at a time step
+#: (e.g. reconfiguration decisions that should see completed arrivals).
+PRIORITY_LATE = 10
+
+
+_EVENT_COUNTER = itertools.count()
+
+
+@dataclass(order=True, slots=True)
+class Event:
+    """A scheduled callback.
+
+    Events are ordered by ``(time, priority, seq)``; ``seq`` is a global
+    monotone counter assigned at construction, making the ordering total and
+    deterministic.
+    """
+
+    time: float
+    priority: int
+    seq: int = field(init=False)
+    action: Callable[..., None] = field(compare=False)
+    args: tuple[Any, ...] = field(compare=False, default=())
+    cancelled: bool = field(compare=False, default=False)
+
+    def __post_init__(self) -> None:
+        self.seq = next(_EVENT_COUNTER)
+
+    def cancel(self) -> None:
+        """Mark the event as cancelled; the engine skips it when popped."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback (engine-internal)."""
+        self.action(*self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        name = getattr(self.action, "__qualname__", repr(self.action))
+        return f"Event(t={self.time:.6g}, prio={self.priority}, {name})"
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid engine operations (e.g. scheduling in the past)."""

@@ -1,0 +1,189 @@
+"""Coroutine-style process layer on top of the event engine.
+
+YACSIM is a *process-oriented* simulation library: model code is written as
+sequential routines that ``hold`` (consume simulated time) and interact with
+facilities.  This module provides the same style on top of
+:class:`repro.sim.engine.Engine` using Python generators.
+
+A process body is a generator function that yields *commands*:
+
+``hold(dt)``
+    suspend for ``dt`` simulated seconds;
+``waitfor(condition)``
+    suspend until another process calls ``condition.signal()``;
+``request(facility, service_time)``
+    enqueue at a FIFO :class:`repro.sim.resources.Facility` and resume when
+    service completes (queueing delay + service time).
+
+Example::
+
+    def body(proc):
+        yield proc.hold(1.0)
+        yield proc.request(cpu, 0.5)
+
+    Process(engine, body).start()
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Iterable
+
+from .events import PRIORITY_NORMAL, SimulationError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import Engine
+    from .resources import Facility
+
+
+class Condition:
+    """A signalable condition that processes can wait for."""
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._waiters: list[Process] = []
+        self._fired = False
+
+    def signal(self, value: Any = None) -> None:
+        """Wake all waiting processes (in wait order)."""
+        self._fired = True
+        waiters, self._waiters = self._waiters, []
+        for proc in waiters:
+            proc._resume(value)
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def _add_waiter(self, proc: "Process") -> None:
+        self._waiters.append(proc)
+
+
+class _Command:
+    """Base class for commands a process body may yield."""
+
+    def apply(self, proc: "Process") -> None:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+
+class _Hold(_Command):
+    def __init__(self, delay: float) -> None:
+        if delay < 0:
+            raise SimulationError(f"hold with negative delay {delay!r}")
+        self.delay = delay
+
+    def apply(self, proc: "Process") -> None:
+        proc.engine.schedule(self.delay, proc._resume, None)
+
+
+class _WaitFor(_Command):
+    def __init__(self, condition: Condition) -> None:
+        self.condition = condition
+
+    def apply(self, proc: "Process") -> None:
+        if self.condition.fired:
+            proc.engine.schedule(0.0, proc._resume, None)
+        else:
+            self.condition._add_waiter(proc)
+
+
+class _Request(_Command):
+    def __init__(self, facility: "Facility", service_time: float) -> None:
+        self.facility = facility
+        self.service_time = service_time
+
+    def apply(self, proc: "Process") -> None:
+        self.facility.request(self.service_time, lambda: proc._resume(None))
+
+
+class Process:
+    """A sequential simulated activity driven by a generator body.
+
+    The body receives the process itself and yields commands created by
+    :meth:`hold`, :meth:`waitfor` and :meth:`request`.
+    """
+
+    def __init__(
+        self,
+        engine: "Engine",
+        body: Callable[["Process"], Generator[_Command, Any, None]],
+        name: str = "",
+    ) -> None:
+        self.engine = engine
+        self.name = name or getattr(body, "__name__", "process")
+        self._body = body
+        self._gen: Generator[_Command, Any, None] | None = None
+        self.done = False
+        self.terminated = Condition(f"{self.name}.terminated")
+
+    # -- command constructors (sugar so bodies read like YACSIM code) ----
+    def hold(self, delay: float) -> _Command:
+        """Consume ``delay`` simulated seconds."""
+        return _Hold(delay)
+
+    def waitfor(self, condition: Condition) -> _Command:
+        """Block until ``condition.signal()``."""
+        return _WaitFor(condition)
+
+    def request(self, facility: "Facility", service_time: float) -> _Command:
+        """Queue for FIFO service at ``facility``."""
+        return _Request(facility, service_time)
+
+    # -- lifecycle --------------------------------------------------------
+    def start(self, delay: float = 0.0) -> "Process":
+        """Activate the process ``delay`` seconds from now."""
+        if self._gen is not None:
+            raise SimulationError(f"process {self.name!r} already started")
+        self._gen = self._body(self)
+        self.engine.schedule(delay, self._resume, None)
+        return self
+
+    def _resume(self, value: Any) -> None:
+        if self.done:
+            return
+        assert self._gen is not None, "process resumed before start()"
+        try:
+            command = self._gen.send(value) if value is not None else next(self._gen)
+        except StopIteration:
+            self.done = True
+            self.terminated.signal()
+            return
+        if not isinstance(command, _Command):
+            raise SimulationError(
+                f"process {self.name!r} yielded {command!r}; expected a command"
+            )
+        command.apply(self)
+
+
+def all_of(engine: "Engine", processes: Iterable[Process]) -> Condition:
+    """A condition that fires once every process in ``processes`` terminates."""
+    procs = list(processes)
+    done = Condition("all_of")
+    remaining = len(procs)
+    if remaining == 0:
+        engine.schedule(0.0, done.signal, priority=PRIORITY_NORMAL)
+        return done
+
+    def _one_done(_value: Any = None) -> None:
+        nonlocal remaining
+        remaining -= 1
+        if remaining == 0:
+            done.signal()
+
+    for proc in procs:
+        if proc.done:
+            _one_done()
+        else:
+            proc.terminated._waiters.append(
+                _Waiter(_one_done)  # type: ignore[arg-type]
+            )
+    return done
+
+
+class _Waiter:
+    """Adapter so plain callables can sit in a Condition waiter list."""
+
+    def __init__(self, fn: Callable[[Any], None]) -> None:
+        self._fn = fn
+
+    def _resume(self, value: Any) -> None:
+        self._fn(value)

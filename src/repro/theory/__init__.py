@@ -1,0 +1,17 @@
+"""Analytic bounds and Monte-Carlo checks for the §4 balance claims."""
+
+from .bounds import (
+    BinsExperiment,
+    anu_normalized_max_after_tuning,
+    max_load_simple_randomization,
+    normalized_max_load,
+    simulate_simple_randomization,
+)
+
+__all__ = [
+    "BinsExperiment",
+    "anu_normalized_max_after_tuning",
+    "max_load_simple_randomization",
+    "normalized_max_load",
+    "simulate_simple_randomization",
+]

@@ -1,0 +1,33 @@
+"""Workload generation and trace handling.
+
+- :class:`~repro.workloads.trace.Trace` — columnar request trace;
+- :func:`~repro.workloads.synthetic.generate_synthetic` — the paper's §7
+  synthetic workload (500 file sets, 100k requests, power-law weights);
+- :func:`~repro.workloads.dfstrace.generate_dfstrace_like` — DFSTrace
+  substitute with the published trace characteristics (see DESIGN.md §2).
+"""
+
+from .dfstrace import DFSTraceLikeConfig, activity_profile, generate_dfstrace_like
+from .shifting import ShiftingConfig, generate_shifting, phase_weights
+from .synthetic import (
+    SyntheticConfig,
+    fileset_weights,
+    generate_synthetic,
+    tune_scale_below_peak,
+)
+from .trace import Trace, TraceRecord
+
+__all__ = [
+    "Trace",
+    "TraceRecord",
+    "SyntheticConfig",
+    "fileset_weights",
+    "generate_synthetic",
+    "tune_scale_below_peak",
+    "DFSTraceLikeConfig",
+    "activity_profile",
+    "generate_dfstrace_like",
+    "ShiftingConfig",
+    "generate_shifting",
+    "phase_weights",
+]

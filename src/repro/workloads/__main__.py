@@ -1,0 +1,7 @@
+"""``python -m repro.workloads`` — see :mod:`repro.workloads.cli`."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

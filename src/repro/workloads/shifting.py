@@ -1,0 +1,111 @@
+"""Shifting workload: temporal heterogeneity.
+
+The paper's §1 claims ANU handles *temporal heterogeneity* — "changing
+load placement in response to workload shifts" — but no figure isolates
+it.  This generator produces the cleanest instrument for that claim: the
+per-file-set weight profile is a power law whose *identity* rotates every
+``phase_length`` seconds (the hot file sets become cold and vice versa),
+while the aggregate arrival rate stays constant.
+
+A static policy tuned (or lucky) for one phase is wrong in the next; an
+adaptive policy must detect the shift from latency alone and re-place.
+The prescient policy with a per-interval oracle tracks shifts perfectly,
+bounding what adaptivity can achieve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..sim.rng import StreamFactory
+from .trace import Trace
+
+
+@dataclass(frozen=True)
+class ShiftingConfig:
+    """Parameters of the phase-rotating workload."""
+
+    n_filesets: int = 100
+    n_requests: int = 50_000
+    duration: float = 5_000.0
+    #: Seconds per phase; the weight profile rotates at each boundary.
+    phase_length: float = 1_250.0
+    #: Power-law exponent of the per-phase weights.
+    alpha: float = 4.0
+    x_min: float = 0.05
+    #: How far the profile rotates per phase (file-set index offset).
+    rotation: int | None = None  # default: n_filesets // n_phases
+    request_cost: float = 0.35
+    seed: int = 21
+
+    def __post_init__(self) -> None:
+        if self.n_filesets < 2 or self.n_requests < 0:
+            raise ValueError("need >= 2 file sets and >= 0 requests")
+        if not 0 < self.phase_length <= self.duration:
+            raise ValueError("need 0 < phase_length <= duration")
+        if self.request_cost <= 0:
+            raise ValueError("request_cost must be positive")
+
+    @property
+    def n_phases(self) -> int:
+        return int(np.ceil(self.duration / self.phase_length))
+
+
+def phase_weights(config: ShiftingConfig) -> np.ndarray:
+    """(n_phases, n_filesets) weight matrix; each row sums to 1.
+
+    Row p is row 0 rotated by ``p * rotation`` file sets, so total demand
+    is constant while the hot set moves.
+    """
+    rng = StreamFactory(config.seed).stream("shifting-weights")
+    x = rng.uniform(config.x_min, 1.0, size=config.n_filesets)
+    base = x**config.alpha
+    base = base / base.sum()
+    rotation = config.rotation
+    if rotation is None:
+        rotation = max(1, config.n_filesets // max(config.n_phases, 1))
+    rows = [
+        np.roll(base, p * rotation) for p in range(config.n_phases)
+    ]
+    return np.stack(rows)
+
+
+def generate_shifting(config: ShiftingConfig | None = None) -> Trace:
+    """Generate the phase-rotating trace."""
+    cfg = config or ShiftingConfig()
+    factory = StreamFactory(cfg.seed)
+    weights = phase_weights(cfg)
+
+    # Requests per phase proportional to phase coverage of the duration.
+    phase_bounds = [
+        (p * cfg.phase_length, min((p + 1) * cfg.phase_length, cfg.duration))
+        for p in range(cfg.n_phases)
+    ]
+    spans = np.array([hi - lo for lo, hi in phase_bounds])
+    phase_counts = np.floor(
+        cfg.n_requests * spans / spans.sum()
+    ).astype(int)
+    shortfall = cfg.n_requests - int(phase_counts.sum())
+    for i in range(shortfall):
+        phase_counts[i % len(phase_counts)] += 1
+
+    counts_rng = factory.stream("shifting-counts")
+    times_rng = factory.stream("shifting-times")
+    all_times: list[np.ndarray] = []
+    all_ids: list[np.ndarray] = []
+    for p, (lo, hi) in enumerate(phase_bounds):
+        per_fs = counts_rng.multinomial(int(phase_counts[p]), weights[p])
+        for f, count in enumerate(per_fs):
+            if count == 0:
+                continue
+            all_times.append(times_rng.uniform(lo, hi, size=count))
+            all_ids.append(np.full(count, f, dtype=np.int64))
+    times = np.concatenate(all_times) if all_times else np.empty(0)
+    ids = np.concatenate(all_ids) if all_ids else np.empty(0, dtype=np.int64)
+    order = np.argsort(times, kind="stable")
+    times, ids = times[order], ids[order]
+    costs = np.full(len(times), cfg.request_cost)
+    names = [f"fs{f:04d}" for f in range(cfg.n_filesets)]
+    return Trace(times, ids, costs, names, duration=cfg.duration)

@@ -1,0 +1,136 @@
+"""Tests for the latency-series analysis helpers."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.analysis import (
+    Spike,
+    convergence_time,
+    find_spikes,
+    phase_means,
+    settled_fraction,
+    worst_per_window,
+)
+from repro.metrics.latency import LatencySeries
+
+
+def make_series(data: dict[str, list[float]],
+                counts: dict[str, list[float]] | None = None,
+                window: float = 60.0) -> LatencySeries:
+    n = len(next(iter(data.values())))
+    return LatencySeries(
+        window=window,
+        times=np.arange(n) * window,
+        mean_latency={k: np.array(v, dtype=float) for k, v in data.items()},
+        counts={
+            k: np.array((counts or {}).get(k, [1.0] * n), dtype=float)
+            for k in data
+        },
+    )
+
+
+def test_worst_per_window():
+    s = make_series({"a": [1, 0, 3], "b": [2, 1, 0]})
+    np.testing.assert_allclose(worst_per_window(s), [2, 1, 3])
+
+
+def test_convergence_time_found():
+    s = make_series({"a": [0.9, 0.5, 0.1, 0.05, 0.08, 0.04]})
+    t = convergence_time(s, threshold=0.2, stable_windows=3)
+    assert t == 120.0  # windows 2,3,4 are the first stable run
+
+
+def test_convergence_time_never():
+    s = make_series({"a": [0.9, 0.1, 0.9, 0.1, 0.9]})
+    assert convergence_time(s, threshold=0.2, stable_windows=2) is None
+
+
+def test_convergence_requires_consecutive_windows():
+    s = make_series({"a": [0.1, 0.9, 0.1, 0.1]})
+    assert convergence_time(s, threshold=0.2, stable_windows=2) == 120.0
+
+
+def test_convergence_validation():
+    s = make_series({"a": [0.1]})
+    with pytest.raises(ValueError):
+        convergence_time(s, 0.1, stable_windows=0)
+
+
+def test_find_spikes_basic():
+    s = make_series({"a": [0.0, 0.5, 0.7, 0.0, 0.6, 0.0]})
+    spikes = find_spikes(s, "a", threshold=0.4)
+    assert spikes == [
+        Spike(server="a", start=60.0, end=180.0, peak=0.7),
+        Spike(server="a", start=240.0, end=300.0, peak=0.6),
+    ]
+
+
+def test_find_spikes_open_ended():
+    s = make_series({"a": [0.0, 0.9]})
+    spikes = find_spikes(s, "a", threshold=0.4)
+    assert len(spikes) == 1
+    assert spikes[0].end == 120.0  # extends to series end + window
+
+
+def test_find_spikes_none():
+    s = make_series({"a": [0.1, 0.2]})
+    assert find_spikes(s, "a", threshold=0.5) == []
+
+
+def test_phase_means_weighted():
+    s = make_series(
+        {"a": [0.1, 0.3, 0.5, 0.7]},
+        counts={"a": [1, 3, 0, 2]},
+    )
+    phases = phase_means(s, [0.0, 120.0, 240.0])
+    # Phase 1: (0.1*1 + 0.3*3)/4 = 0.25; phase 2: (0.5*0 + 0.7*2)/2 = 0.7.
+    assert phases[0]["a"] == pytest.approx(0.25)
+    assert phases[1]["a"] == pytest.approx(0.7)
+
+
+def test_phase_means_empty_phase_is_zero():
+    s = make_series({"a": [0.5]}, counts={"a": [0]})
+    assert phase_means(s, [0.0, 60.0])[0]["a"] == 0.0
+
+
+def test_phase_means_validation():
+    s = make_series({"a": [0.1]})
+    with pytest.raises(ValueError):
+        phase_means(s, [10.0])
+    with pytest.raises(ValueError):
+        phase_means(s, [10.0, 5.0])
+
+
+def test_settled_fraction():
+    s = make_series({"a": [0.1, 0.9, 0.1, 0.1]})
+    assert settled_fraction(s, threshold=0.5) == pytest.approx(0.75)
+
+
+def test_analysis_on_real_run():
+    """Integration: ANU's convergence detected on an actual simulation."""
+    from repro.cluster import ClusterConfig, ClusterSimulation, paper_servers
+    from repro.placement import ANUPolicy
+    from repro.workloads import SyntheticConfig, generate_synthetic
+
+    trace = generate_synthetic(
+        SyntheticConfig(n_filesets=60, n_requests=10_000, duration=2_000.0,
+                        seed=3)
+    )
+    cfg = ClusterConfig(servers=paper_servers(), seed=0)
+    res = ClusterSimulation(cfg, ANUPolicy(), trace).run()
+    t = convergence_time(res.series, threshold=0.2, stable_windows=5)
+    assert t is not None
+    assert t < 1_200.0  # converged in the first ~10 tuning rounds
+    assert settled_fraction(res.series, 0.2) > 0.5
+
+
+def test_count_idle_hot_cycles():
+    from repro.metrics import count_idle_hot_cycles
+
+    s = make_series({"a": [0.0, 0.6, 0.0, 0.7, 0.3, 0.0, 0.8]})
+    assert count_idle_hot_cycles(s, "a", hot=0.5) == 3
+    # Without returning to idle, repeated hot windows count once.
+    s2 = make_series({"a": [0.0, 0.6, 0.6, 0.6]})
+    assert count_idle_hot_cycles(s2, "a", hot=0.5) == 1
+    with pytest.raises(ValueError):
+        count_idle_hot_cycles(s, "a", hot=0.0)

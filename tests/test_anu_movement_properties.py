@@ -1,0 +1,102 @@
+"""Property tests for ANU's movement bounds (the cache-preservation claim).
+
+The paper claims reconfigurations "move the minimum amount of workload
+possible".  Exactly-minimal movement is not achievable with hashing (region
+growth can capture earlier probes), but movement must be *proportional* to
+the share change, never a global reshuffle.  These properties pin that
+down over random reconfigurations:
+
+- moved fraction is bounded by a small multiple of the total share change
+  (total variation distance of the share distributions);
+- a no-op rescale moves nothing;
+- rescaling back restores most of the original assignment (hash placement
+  is memoryless: the same regions imply the same assignment).
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import ANUPlacement, diff_assignment
+from repro.core.interval import HALF
+
+NAMES = [f"fs{i:04d}" for i in range(1500)]
+
+
+def total_variation(old: dict[str, int], new: dict[str, int]) -> float:
+    """TV distance of the two share distributions over the mapped half."""
+    keys = set(old) | set(new)
+    return sum(abs(old.get(k, 0) - new.get(k, 0)) for k in keys) / (2 * HALF)
+
+
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    weights=st.lists(
+        st.floats(min_value=0.2, max_value=5.0, allow_nan=False),
+        min_size=2,
+        max_size=6,
+    ),
+)
+@settings(max_examples=25, deadline=None)
+def test_movement_bounded_by_share_change(n, weights):
+    placement = ANUPlacement([f"s{i}" for i in range(n)])
+    before_shares = placement.shares()
+    before = placement.assignment(NAMES)
+    padded = (weights * n)[:n]
+    placement.set_shares(dict(zip(placement.servers, padded)))
+    after_shares = placement.shares()
+    after = placement.assignment(NAMES)
+    tv = total_variation(before_shares, after_shares)
+    moved = diff_assignment(before, after).moved_fraction
+    # Lower bound: at least ~the TV mass must move (mapped half covers half
+    # the probability of a first-probe hit; captures add more).  Upper
+    # bound: movement stays within a small multiple of the change plus
+    # re-hash noise — never a global reshuffle.
+    assert moved <= 4.0 * tv + 0.02, (moved, tv)
+
+
+@given(n=st.integers(min_value=2, max_value=8))
+def test_noop_rescale_moves_nothing(n):
+    placement = ANUPlacement([f"s{i}" for i in range(n)])
+    before = placement.assignment(NAMES[:400])
+    placement.set_shares({s: 1.0 for s in placement.servers})
+    after = placement.assignment(NAMES[:400])
+    assert before == after
+
+
+@given(
+    n=st.integers(min_value=3, max_value=7),
+    idx=st.integers(min_value=0, max_value=6),
+)
+@settings(max_examples=20, deadline=None)
+def test_rescale_round_trip_is_nearly_lossless(n, idx):
+    """Shrink one server, then restore equal shares: the assignment mostly
+    returns (exact geometric restoration is not guaranteed because shrink
+    and grow pick partitions greedily, but the overlap must be large).
+
+    n >= 3 only: with two servers so few partitions are occupied that the
+    greedy grow path can legitimately relocate half the mass.
+    """
+    placement = ANUPlacement([f"s{i}" for i in range(n)])
+    before = placement.assignment(NAMES[:800])
+    victim = placement.servers[idx % n]
+    shares = {s: 1.0 for s in placement.servers}
+    shares[victim] = 0.3
+    placement.set_shares(shares)
+    placement.set_shares({s: 1.0 for s in placement.servers})
+    after = placement.assignment(NAMES[:800])
+    agree = sum(1 for k in before if before[k] == after[k]) / len(before)
+    assert agree > 0.9
+
+
+@given(n=st.integers(min_value=3, max_value=7))
+@settings(max_examples=15, deadline=None)
+def test_failure_movement_close_to_orphaned_fraction(n):
+    placement = ANUPlacement([f"s{i}" for i in range(n)])
+    before = placement.assignment(NAMES)
+    victim = placement.servers[0]
+    orphaned = sum(1 for s in before.values() if s == victim)
+    placement.remove_server(victim)
+    after = placement.assignment(NAMES)
+    moved = diff_assignment(before, after).moved
+    # Everything orphaned moves; captures add at most ~an equal amount.
+    assert orphaned <= moved <= 2 * orphaned + 0.05 * len(NAMES)

@@ -1,0 +1,116 @@
+"""Unit tests for pair-wise decentralized tuning (§5 future work)."""
+
+import numpy as np
+import pytest
+
+from repro.core.decentralized import PairwiseConfig, PairwiseTuner
+from repro.core.tuning import ServerReport
+
+
+def reports(lat: dict[str, float]) -> list[ServerReport]:
+    return [ServerReport(k, v, 100 if v > 0 else 0) for k, v in lat.items()]
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        PairwiseConfig(max_transfer_fraction=1.0)
+    with pytest.raises(ValueError):
+        PairwiseConfig(gain=0.0)
+
+
+def test_pairing_is_disjoint_and_complete():
+    tuner = PairwiseTuner()
+    rng = np.random.default_rng(0)
+    names = [f"s{i}" for i in range(6)]
+    pairs = tuner.pair(names, rng)
+    flat = [x for pair in pairs for x in pair]
+    assert len(pairs) == 3
+    assert sorted(flat) == sorted(names)
+
+
+def test_odd_count_one_sits_out():
+    tuner = PairwiseTuner()
+    rng = np.random.default_rng(0)
+    pairs = tuner.pair(["a", "b", "c"], rng)
+    assert len(pairs) == 1
+
+
+def test_exchange_conserves_total_share():
+    tuner = PairwiseTuner()
+    rng = np.random.default_rng(1)
+    shares = {"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0}
+    new, exchanges = tuner.compute(
+        shares, reports({"a": 5.0, "b": 0.1, "c": 4.0, "d": 0.2}), rng
+    )
+    assert sum(new.values()) == pytest.approx(sum(shares.values()))
+    assert exchanges  # the latency gaps exceed the threshold
+
+
+def test_share_flows_from_slow_to_fast():
+    tuner = PairwiseTuner()
+    rng = np.random.default_rng(2)
+    shares = {"a": 1.0, "b": 1.0}
+    new, exchanges = tuner.compute(
+        shares, reports({"a": 5.0, "b": 0.1}), rng
+    )
+    assert len(exchanges) == 1
+    ex = exchanges[0]
+    assert ex.donor == "a" and ex.recipient == "b"
+    assert new["a"] < 1.0 < new["b"]
+
+
+def test_within_threshold_no_exchange():
+    tuner = PairwiseTuner(PairwiseConfig(threshold=0.5))
+    rng = np.random.default_rng(3)
+    shares = {"a": 1.0, "b": 1.0}
+    new, exchanges = tuner.compute(shares, reports({"a": 1.0, "b": 1.1}), rng)
+    assert exchanges == []
+    assert new == shares
+
+
+def test_idle_pair_skipped():
+    tuner = PairwiseTuner()
+    rng = np.random.default_rng(4)
+    shares = {"a": 1.0, "b": 1.0}
+    new, exchanges = tuner.compute(
+        shares, [ServerReport("a", 0.0, 0), ServerReport("b", 0.0, 0)], rng
+    )
+    assert exchanges == []
+
+
+def test_transfer_bounded_by_max_fraction():
+    cfg = PairwiseConfig(max_transfer_fraction=0.1, gain=10.0)
+    tuner = PairwiseTuner(cfg)
+    rng = np.random.default_rng(5)
+    shares = {"a": 1.0, "b": 1.0}
+    new, exchanges = tuner.compute(shares, reports({"a": 100.0, "b": 0.01}), rng)
+    assert exchanges[0].amount <= 0.1 * 2.0 + 1e-12
+
+
+def test_mismatched_reports_rejected():
+    tuner = PairwiseTuner()
+    rng = np.random.default_rng(6)
+    with pytest.raises(ValueError):
+        tuner.compute({"a": 1.0}, reports({"a": 1.0, "b": 2.0}), rng)
+
+
+def test_repeated_rounds_converge_latency_proxy():
+    """Iterating exchanges balances a share-attracts-load latency proxy.
+
+    Model: each server's load is proportional to its share (the mapped
+    region attracts that fraction of the workload) and its latency is
+    load / capacity.  Balance means share proportional to capacity.
+    """
+    tuner = PairwiseTuner(PairwiseConfig(threshold=0.1))
+    rng = np.random.default_rng(7)
+    capacity = {"a": 8.0, "b": 1.0, "c": 2.0, "d": 5.0}
+    shares = {k: 1.0 for k in capacity}
+
+    def latencies():
+        total = sum(shares.values())
+        return {k: (shares[k] / total) / capacity[k] for k in capacity}
+
+    for _ in range(60):
+        shares, _ = tuner.compute(shares, reports(latencies()), rng)
+    lat = np.array(list(latencies().values()))
+    assert lat.max() / lat.mean() < 1.5

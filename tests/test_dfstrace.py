@@ -1,0 +1,101 @@
+"""Tests for the DFSTrace-like synthesizer — these assertions keep the
+documented substitution honest (see DESIGN.md §2)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.dfstrace import (
+    DFSTraceLikeConfig,
+    activity_profile,
+    generate_dfstrace_like,
+)
+
+
+def test_defaults_match_published_slice():
+    cfg = DFSTraceLikeConfig()
+    assert cfg.n_filesets == 21
+    assert cfg.n_requests == 112_590
+    assert cfg.duration == 3600.0
+
+
+def test_exact_request_count():
+    trace = generate_dfstrace_like(DFSTraceLikeConfig())
+    assert len(trace) == 112_590
+    assert trace.n_filesets == 21
+
+
+def test_activity_ratio_at_least_100x():
+    """"The most active file set has more than one hundred times as many
+    requests as many of the least active file sets."""
+    trace = generate_dfstrace_like(DFSTraceLikeConfig())
+    counts = trace.counts_by_fileset()
+    ordered = sorted(counts.values())
+    assert ordered[-1] >= 100 * ordered[0]
+
+
+def test_activity_profile_spread():
+    cfg = DFSTraceLikeConfig(activity_ratio=150.0)
+    w = activity_profile(cfg)
+    assert w.sum() == pytest.approx(1.0)
+    assert w[0] / w[-1] >= 150.0 * 0.99
+
+
+def test_profile_monotone_decreasing():
+    w = activity_profile(DFSTraceLikeConfig())
+    assert np.all(np.diff(w) <= 1e-15)
+
+
+def test_bursty_nonstationary():
+    """Per-epoch request counts vary far more than a stationary Poisson
+    process would allow."""
+    cfg = DFSTraceLikeConfig(seed=11)
+    trace = generate_dfstrace_like(cfg)
+    # Take the most active file set; examine its per-epoch counts.
+    counts = trace.counts_by_fileset()
+    hot = max(counts, key=counts.get)
+    hot_id = trace.fileset_names.index(hot)
+    epoch_len = cfg.duration / cfg.epochs
+    times = trace.times[trace.fileset_ids == hot_id]
+    per_epoch = np.bincount((times // epoch_len).astype(int), minlength=cfg.epochs)
+    mean = per_epoch.mean()
+    # Poisson would give var ~ mean; lognormal modulation inflates it a lot.
+    assert per_epoch.var() > 3 * mean
+
+
+def test_times_sorted_and_in_range():
+    trace = generate_dfstrace_like(DFSTraceLikeConfig(n_requests=5000, epochs=6))
+    assert np.all(np.diff(trace.times) >= 0)
+    assert trace.times.min() >= 0.0
+    assert trace.times.max() < trace.duration
+
+
+def test_deterministic_by_seed():
+    cfg = DFSTraceLikeConfig(n_requests=3000, seed=4)
+    a = generate_dfstrace_like(cfg)
+    b = generate_dfstrace_like(cfg)
+    assert np.array_equal(a.times, b.times)
+    assert np.array_equal(a.fileset_ids, b.fileset_ids)
+
+
+def test_stochastic_cost_mode():
+    cfg = DFSTraceLikeConfig(n_requests=5000, stochastic_cost=True,
+                             request_cost=0.1)
+    trace = generate_dfstrace_like(cfg)
+    assert trace.costs.std() > 0
+    assert trace.costs.mean() == pytest.approx(0.1, rel=0.15)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DFSTraceLikeConfig(n_filesets=1)
+    with pytest.raises(ValueError):
+        DFSTraceLikeConfig(activity_ratio=0.5)
+    with pytest.raises(ValueError):
+        DFSTraceLikeConfig(epochs=0)
+
+
+def test_partitioned_along_fileset_boundaries():
+    """Every request belongs to exactly one of the 21 file sets (DFSTrace is
+    naturally partitioned along workstation boundaries)."""
+    trace = generate_dfstrace_like(DFSTraceLikeConfig(n_requests=2000))
+    assert set(np.unique(trace.fileset_ids)) <= set(range(21))

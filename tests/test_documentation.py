@@ -1,0 +1,92 @@
+"""Documentation-coverage gates.
+
+Deliverable: "doc comments on every public item".  These tests walk the
+package and fail if a public module, class, or function lacks a docstring,
+and sanity-check that the top-level docs reference real artifacts.
+"""
+
+import importlib
+import inspect
+import pathlib
+import pkgutil
+
+import repro
+
+SRC_ROOT = pathlib.Path(repro.__file__).parent
+REPO_ROOT = SRC_ROOT.parent.parent
+
+
+def iter_modules():
+    for info in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        if info.name.endswith("__main__"):
+            continue  # importing these would run the CLIs
+        yield importlib.import_module(info.name)
+
+
+def test_every_module_has_a_docstring():
+    missing = [m.__name__ for m in iter_modules() if not (m.__doc__ or "").strip()]
+    assert missing == []
+
+
+def test_every_public_class_and_function_documented():
+    missing: list[str] = []
+    for module in iter_modules():
+        for name, obj in vars(module).items():
+            if name.startswith("_"):
+                continue
+            if not (inspect.isclass(obj) or inspect.isfunction(obj)):
+                continue
+            if getattr(obj, "__module__", None) != module.__name__:
+                continue  # re-export; documented at its home
+            if not (inspect.getdoc(obj) or "").strip():
+                missing.append(f"{module.__name__}.{name}")
+    assert missing == [], missing
+
+
+def test_public_methods_documented():
+    missing: list[str] = []
+    for module in iter_modules():
+        for cls_name, cls in vars(module).items():
+            if cls_name.startswith("_") or not inspect.isclass(cls):
+                continue
+            if getattr(cls, "__module__", None) != module.__name__:
+                continue
+            for meth_name, meth in vars(cls).items():
+                if meth_name.startswith("_"):
+                    continue
+                if not inspect.isfunction(meth):
+                    continue
+                doc = inspect.getdoc(getattr(cls, meth_name)) or ""
+                if not doc.strip():
+                    missing.append(f"{module.__name__}.{cls_name}.{meth_name}")
+    assert missing == [], missing
+
+
+def test_top_level_docs_exist_and_reference_real_things():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md", "TUTORIAL.md"):
+        path = REPO_ROOT / name
+        assert path.exists(), name
+        assert path.stat().st_size > 1000, name
+    readme = (REPO_ROOT / "README.md").read_text()
+    # Every example the README lists exists.
+    for line in readme.splitlines():
+        if line.startswith("| `") and line.strip().endswith("|"):
+            script = line.split("`")[1]
+            if script.endswith(".py"):
+                assert (REPO_ROOT / "examples" / script).exists(), script
+
+
+def test_design_md_lists_every_subpackage():
+    design = (REPO_ROOT / "DESIGN.md").read_text()
+    subpackages = [
+        p.name for p in SRC_ROOT.iterdir()
+        if p.is_dir() and (p / "__init__.py").exists()
+    ]
+    for pkg in subpackages:
+        assert f"{pkg}/" in design, f"DESIGN.md missing subpackage {pkg}"
+
+
+def test_experiments_md_covers_every_figure():
+    text = (REPO_ROOT / "EXPERIMENTS.md").read_text()
+    for fig in range(3, 12):
+        assert f"## Figure {fig}" in text, f"Figure {fig} not recorded"

@@ -1,0 +1,130 @@
+"""Edge-case and interaction tests across modules."""
+
+import pytest
+
+from repro.cluster import (
+    ClusterConfig,
+    ClusterSimulation,
+    FaultSchedule,
+    paper_servers,
+)
+from repro.metrics.latency import LatencyCollector
+from repro.placement import ANUPolicy
+from repro.workloads import SyntheticConfig, generate_synthetic
+
+
+# ----------------------------------------------------------------------
+# Latency percentiles
+# ----------------------------------------------------------------------
+def test_percentiles_basic():
+    c = LatencyCollector()
+    for i in range(100):
+        c.record("s1", float(i), i / 100.0)
+    assert c.percentile(50.0, "s1") == pytest.approx(0.495, abs=0.01)
+    assert c.percentile(100.0, "s1") == pytest.approx(0.99)
+    assert c.percentile(0.0, "s1") == pytest.approx(0.0)
+
+
+def test_percentiles_windowed_and_pooled():
+    c = LatencyCollector()
+    c.record("a", 1.0, 0.1)
+    c.record("a", 100.0, 0.9)
+    c.record("b", 1.0, 0.5)
+    assert c.percentile(100.0, "a", start=0.0, end=10.0) == pytest.approx(0.1)
+    # Pooled across servers.
+    assert c.percentile(100.0) == pytest.approx(0.9)
+    assert c.percentile(50.0) == pytest.approx(0.5)
+
+
+def test_percentiles_empty_and_validation():
+    c = LatencyCollector()
+    assert c.percentile(95.0, "ghost") == 0.0
+    with pytest.raises(ValueError):
+        c.percentile(101.0)
+    summary = c.tail_summary()
+    assert summary == {"p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+
+
+def test_tail_summary_ordering():
+    c = LatencyCollector()
+    for i in range(1000):
+        c.record("s", float(i), (i % 100) / 100.0)
+    s = c.tail_summary("s")
+    assert s["p50"] <= s["p95"] <= s["p99"] <= s["max"]
+
+
+# ----------------------------------------------------------------------
+# Mid-move membership change (redirect path)
+# ----------------------------------------------------------------------
+def test_fileset_mid_move_when_destination_fails():
+    """A membership change while moves are in flight redirects them; the
+    simulation still completes everything."""
+    trace = generate_synthetic(
+        SyntheticConfig(n_filesets=60, n_requests=8000, duration=1200.0,
+                        seed=8)
+    )
+    # Fail a server shortly after a tuning round (t=240+5s): some moves
+    # started at t=240 are likely still in flight.
+    faults = FaultSchedule().fail(245.0, "server3")
+    cfg = ClusterConfig(servers=paper_servers(), tuning_interval=120.0,
+                        sample_window=60.0, seed=3)
+    res = ClusterSimulation(cfg, ANUPolicy(), trace, faults).run()
+    assert res.total_requests == len(trace)
+    assert all(s != "server3" for s in res.final_assignment.values())
+
+
+def test_back_to_back_membership_changes():
+    trace = generate_synthetic(
+        SyntheticConfig(n_filesets=40, n_requests=5000, duration=1000.0,
+                        seed=9)
+    )
+    faults = (
+        FaultSchedule()
+        .fail(300.0, "server1")
+        .fail(301.0, "server2")
+        .recover(600.0, "server1")
+        .recover(601.0, "server2")
+    )
+    cfg = ClusterConfig(servers=paper_servers(), seed=4)
+    res = ClusterSimulation(cfg, ANUPolicy(), trace, faults).run()
+    assert res.total_requests == len(trace)
+
+
+def test_delegate_crash_every_interval_still_works():
+    """Pathological: the delegate crashes before every single round — the
+    stateless protocol degrades to threshold+top-off but keeps working."""
+    trace = generate_synthetic(
+        SyntheticConfig(n_filesets=40, n_requests=5000, duration=1200.0,
+                        seed=10)
+    )
+    faults = FaultSchedule()
+    for t in range(110, 1200, 120):
+        faults.delegate_crash(float(t))
+    cfg = ClusterConfig(servers=paper_servers(), seed=5)
+    res = ClusterSimulation(cfg, ANUPolicy(), trace, faults).run()
+    assert res.total_requests == len(trace)
+    assert res.moves_started > 0  # tuning still happened
+
+
+# ----------------------------------------------------------------------
+# Trace at exactly the tuning boundary
+# ----------------------------------------------------------------------
+def test_trace_shorter_than_tuning_interval():
+    trace = generate_synthetic(
+        SyntheticConfig(n_filesets=10, n_requests=300, duration=60.0)
+    )
+    cfg = ClusterConfig(servers=paper_servers(), tuning_interval=120.0,
+                        seed=0)
+    res = ClusterSimulation(cfg, ANUPolicy(), trace).run()
+    assert res.total_requests == 300
+    assert res.tuning_rounds == 0  # never reached a round
+
+
+def test_trace_duration_exact_multiple_of_interval():
+    trace = generate_synthetic(
+        SyntheticConfig(n_filesets=10, n_requests=1200, duration=360.0)
+    )
+    cfg = ClusterConfig(servers=paper_servers(), tuning_interval=120.0,
+                        seed=0)
+    res = ClusterSimulation(cfg, ANUPolicy(), trace).run()
+    assert res.tuning_rounds == 3

@@ -1,0 +1,165 @@
+"""Tests for replication, CSV export, the scale study, and new CLI paths."""
+
+import csv
+
+import pytest
+
+from repro.experiments.cli import main
+from repro.experiments.config import figure8
+from repro.experiments.export import (
+    export_experiment,
+    write_series_csv,
+    write_summary_csv,
+)
+from repro.experiments.replication import (
+    MetricSummary,
+    replicate,
+    replication_table,
+)
+from repro.experiments.runner import generate_trace, run_policy
+from repro.experiments.scale import measure_scale_point, scale_study, scale_table
+from repro.workloads import SyntheticConfig
+
+
+def tiny_config(seed: int):
+    from dataclasses import replace
+
+    cfg = figure8(quick=True, seed=seed)
+    # Long enough that the steady-state metric (last 10 windows) is past
+    # ANU's convergence transient.
+    workload = replace(cfg.synthetic, n_filesets=40, n_requests=10_000,
+                       duration=2_000.0)
+    return replace(cfg, synthetic=workload,
+                   policies=("round-robin", "anu"))
+
+
+# ----------------------------------------------------------------------
+# MetricSummary / replicate
+# ----------------------------------------------------------------------
+def test_metric_summary_statistics():
+    s = MetricSummary.of([1.0, 2.0, 3.0])
+    assert s.mean == pytest.approx(2.0)
+    assert s.std == pytest.approx(1.0)
+    assert s.ci95 > 0
+    assert s.values == (1.0, 2.0, 3.0)
+    with pytest.raises(ValueError):
+        MetricSummary.of([])
+
+
+def test_metric_summary_single_value():
+    s = MetricSummary.of([5.0])
+    assert s.mean == 5.0
+    assert s.std == 0.0
+    assert s.ci95 == float("inf")
+
+
+def test_replicate_runs_all_seeds_and_policies():
+    result = replicate(tiny_config, seeds=[0, 1])
+    assert result.seeds == (0, 1)
+    assert set(result.summaries) == {"round-robin", "anu"}
+    for policy in result.summaries:
+        for metric in ("mean_latency", "steady_worst", "moves", "preservation"):
+            assert len(result.metric(policy, metric).values) == 2
+
+
+def test_replicate_ordering_check():
+    result = replicate(tiny_config, seeds=[0, 1])
+    # ANU's steady state beats static round-robin in every replicate.
+    assert result.ordering_holds("anu", "round-robin", "steady_worst")
+
+
+def test_replicate_empty_seeds_rejected():
+    with pytest.raises(ValueError):
+        replicate(tiny_config, seeds=[])
+
+
+def test_replication_table_renders():
+    result = replicate(tiny_config, seeds=[0])
+    table = replication_table(result)
+    assert "anu" in table and "round-robin" in table
+
+
+# ----------------------------------------------------------------------
+# CSV export
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def small_result():
+    trace = generate_trace(
+        SyntheticConfig(n_filesets=20, n_requests=1500, duration=400.0)
+    )
+    cfg = figure8(quick=True).cluster
+    return {"round-robin": run_policy("round-robin", trace, cfg)}
+
+
+def test_write_series_csv(tmp_path, small_result):
+    res = small_result["round-robin"]
+    path = write_series_csv(res.series, tmp_path / "series.csv")
+    with path.open() as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0][0] == "time_s"
+    assert len(rows) - 1 == len(res.series.times)
+    # 1 time column + 2 per server.
+    assert len(rows[0]) == 1 + 2 * len(res.series.servers)
+
+
+def test_write_summary_csv(tmp_path, small_result):
+    path = write_summary_csv(small_result, tmp_path / "summary.csv")
+    with path.open() as fh:
+        rows = list(csv.reader(fh))
+    assert rows[0][0] == "policy"
+    assert rows[1][0] == "round-robin"
+    assert float(rows[1][7]) == 1500  # total_requests
+
+
+def test_export_experiment(tmp_path, small_result):
+    written = export_experiment("figX", small_result, tmp_path / "out")
+    names = {p.name for p in written}
+    assert names == {"figX_round-robin.csv", "figX_summary.csv"}
+    assert all(p.exists() for p in written)
+
+
+# ----------------------------------------------------------------------
+# Scale study
+# ----------------------------------------------------------------------
+def test_measure_scale_point_metrics():
+    pt = measure_scale_point(8, filesets_per_server=30, seed=1)
+    assert pt.n_servers == 8
+    assert pt.n_filesets == 240
+    assert pt.partitions >= 2 * (8 + 1)
+    assert 1.5 < pt.mean_probes < 2.5
+    assert 0 <= pt.add_moved_fraction < 0.5
+    assert pt.balance_cov < 0.6
+
+
+def test_scale_study_movement_shrinks_with_n():
+    pts = scale_study(sizes=(5, 20), filesets_per_server=40, seed=2)
+    by_n = {pt.n_servers: pt for pt in pts}
+    assert by_n[20].add_moved_fraction < by_n[5].add_moved_fraction
+
+
+def test_scale_table_renders():
+    pts = scale_study(sizes=(5,), filesets_per_server=20)
+    table = scale_table(pts)
+    assert "CoV" in table and "probes" in table
+
+
+# ----------------------------------------------------------------------
+# CLI additions
+# ----------------------------------------------------------------------
+def test_cli_scale_quick(capsys):
+    assert main(["scale", "--quick"]) == 0
+    out = capsys.readouterr().out
+    assert "Scale study" in out and "probes" in out
+
+
+def test_cli_csv_export(tmp_path, capsys):
+    assert main(["fig9", "--quick", "--csv", str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    assert "CSV" in out
+    assert (tmp_path / "fig9_summary.csv").exists()
+    assert (tmp_path / "fig9_anu.csv").exists()
+
+
+def test_cli_list_mentions_scale(capsys):
+    assert main(["list"]) == 0
+    assert "scale" in capsys.readouterr().out

@@ -1,0 +1,165 @@
+"""Unit tests for the shared disk and the metadata service."""
+
+import pytest
+
+from repro.fs.disk import DiskError, SharedDisk
+from repro.fs.locks import LockMode
+from repro.fs.namespace import FSError, Namespace
+from repro.fs.ops import Operation, OpType
+from repro.fs.service import MetadataService
+
+
+# ----------------------------------------------------------------------
+# SharedDisk
+# ----------------------------------------------------------------------
+def test_format_flush_load_cycle():
+    disk = SharedDisk()
+    ns = Namespace("fs0")
+    disk.format_fileset(ns)
+    ns.create("/a")
+    disk.flush(ns, server="s1", now=1.0)
+    loaded = disk.load("fs0")
+    assert loaded.exists("/a")
+    assert disk.generation("fs0") == ns.generation
+    assert disk.record("fs0").flushed_by == "s1"
+
+
+def test_double_format_rejected():
+    disk = SharedDisk()
+    disk.format_fileset(Namespace("fs0"))
+    with pytest.raises(DiskError):
+        disk.format_fileset(Namespace("fs0"))
+
+
+def test_flush_unformatted_rejected():
+    disk = SharedDisk()
+    with pytest.raises(DiskError):
+        disk.flush(Namespace("ghost"), server="s1")
+
+
+def test_stale_flush_fenced():
+    """A deposed owner must not clobber the new owner's image."""
+    disk = SharedDisk()
+    ns = Namespace("fs0")
+    disk.format_fileset(ns)
+    old_copy = Namespace.from_image(ns.to_image())  # stale snapshot
+    ns.create("/new")                               # new owner advances
+    disk.flush(ns, server="new-owner")
+    with pytest.raises(DiskError):
+        disk.flush(old_copy, server="old-owner")
+    assert disk.load("fs0").exists("/new")
+
+
+def test_load_missing_rejected():
+    disk = SharedDisk()
+    with pytest.raises(DiskError):
+        disk.load("nope")
+    with pytest.raises(DiskError):
+        disk.generation("nope")
+
+
+# ----------------------------------------------------------------------
+# MetadataService
+# ----------------------------------------------------------------------
+def service_with_fileset() -> tuple[MetadataService, SharedDisk]:
+    disk = SharedDisk()
+    disk.format_fileset(Namespace("fs0"))
+    svc = MetadataService("s1", disk)
+    svc.acquire_fileset("fs0")
+    return svc, disk
+
+
+def op(kind: OpType, path: str, **args):
+    return Operation(op=kind, path=path, client="c1", time=1.0, args=args)
+
+
+def test_execute_basic_ops():
+    svc, _ = service_with_fileset()
+    assert svc.execute("fs0", op(OpType.MKDIR, "/d")).ok
+    assert svc.execute("fs0", op(OpType.CREATE, "/d/f")).ok
+    res = svc.execute("fs0", op(OpType.STAT, "/d/f"))
+    assert res.ok and res.value.owner == "c1"
+    res = svc.execute("fs0", op(OpType.READDIR, "/d"))
+    assert res.value == ["f"]
+    assert svc.execute("fs0", op(OpType.SETATTR, "/d/f", size=9)).value.size == 9
+    assert svc.execute("fs0", op(OpType.RENAME, "/d/f", dst="/d/g")).ok
+    assert svc.execute("fs0", op(OpType.UNLINK, "/d/g")).ok
+    assert svc.execute("fs0", op(OpType.RMDIR, "/d")).ok
+    assert svc.ops_served == 8
+
+
+def test_execute_not_owner():
+    svc, _ = service_with_fileset()
+    res = svc.execute("other", op(OpType.STAT, "/x"))
+    assert not res.ok
+    assert "not-owner" in res.error
+    assert svc.ops_failed == 1
+
+
+def test_execute_errors_become_results_not_exceptions():
+    svc, _ = service_with_fileset()
+    res = svc.execute("fs0", op(OpType.STAT, "/missing"))
+    assert not res.ok and "NotFound" in res.error
+    res = svc.execute("fs0", op(OpType.RENAME, "/a"))  # missing dst
+    assert not res.ok
+    res = svc.execute("fs0", op(OpType.UNLOCK, "/missing"))
+    assert not res.ok
+
+
+def test_lock_and_unlock_via_ops():
+    svc, _ = service_with_fileset()
+    svc.execute("fs0", op(OpType.CREATE, "/f"))
+    res = svc.execute("fs0", op(OpType.LOCK, "/f", mode=LockMode.EXCLUSIVE))
+    assert res.ok and res.value is True
+    res2 = svc.execute(
+        "fs0",
+        Operation(op=OpType.LOCK, path="/f", client="c2", args={"mode": LockMode.EXCLUSIVE}),
+    )
+    assert res2.ok and res2.value is False  # queued
+    assert svc.execute("fs0", op(OpType.UNLOCK, "/f")).ok
+
+
+def test_lock_missing_file_rejected():
+    svc, _ = service_with_fileset()
+    res = svc.execute("fs0", op(OpType.LOCK, "/missing"))
+    assert not res.ok
+
+
+def test_release_and_reacquire_fileset():
+    svc, disk = service_with_fileset()
+    svc.execute("fs0", op(OpType.CREATE, "/persist"))
+    svc.release_fileset("fs0", now=2.0)
+    assert not svc.owns("fs0")
+    svc2 = MetadataService("s2", disk)
+    svc2.acquire_fileset("fs0")
+    assert svc2.execute("fs0", op(OpType.STAT, "/persist")).ok
+
+
+def test_double_acquire_and_release_rejected():
+    svc, _ = service_with_fileset()
+    with pytest.raises(FSError):
+        svc.acquire_fileset("fs0")
+    svc.release_fileset("fs0")
+    with pytest.raises(FSError):
+        svc.release_fileset("fs0")
+
+
+def test_crash_loses_unflushed_updates():
+    svc, disk = service_with_fileset()
+    svc.flush_all(now=1.0)
+    svc.execute("fs0", op(OpType.CREATE, "/lost"))
+    lost = svc.crash()
+    assert lost == ["fs0"]
+    recovered = disk.load("fs0")
+    assert not recovered.exists("/lost")  # created after the last flush
+
+
+def test_recover_client_releases_locks():
+    svc, _ = service_with_fileset()
+    svc.execute("fs0", op(OpType.CREATE, "/f"))
+    svc.execute("fs0", op(OpType.LOCK, "/f", mode=LockMode.EXCLUSIVE))
+    waiting = Operation(op=OpType.LOCK, path="/f", client="c2",
+                        args={"mode": LockMode.SHARED})
+    svc.execute("fs0", waiting)
+    promoted = svc.recover_client("c1")
+    assert promoted == 1  # c2 unblocked

@@ -1,0 +1,104 @@
+"""Unit tests for the lock manager."""
+
+import pytest
+
+from repro.fs.locks import LockError, LockManager, LockMode
+
+S = LockMode.SHARED
+X = LockMode.EXCLUSIVE
+
+
+def test_shared_locks_coexist():
+    lm = LockManager()
+    assert lm.acquire("c1", "/f", S)
+    assert lm.acquire("c2", "/f", S)
+    assert lm.holders("/f") == {"c1": S, "c2": S}
+
+
+def test_exclusive_excludes():
+    lm = LockManager()
+    assert lm.acquire("c1", "/f", X)
+    assert not lm.acquire("c2", "/f", X)
+    assert not lm.acquire("c3", "/f", S)
+    assert lm.waiting("/f") == [("c2", X), ("c3", S)]
+
+
+def test_release_promotes_fifo():
+    lm = LockManager()
+    lm.acquire("c1", "/f", X)
+    lm.acquire("c2", "/f", X)
+    lm.acquire("c3", "/f", S)
+    promoted = lm.release("c1", "/f")
+    assert promoted == [("c2", X)]  # FIFO: c2 before c3, and X blocks c3
+    promoted = lm.release("c2", "/f")
+    assert promoted == [("c3", S)]
+
+
+def test_shared_release_promotes_multiple_shared():
+    lm = LockManager()
+    lm.acquire("w", "/f", X)
+    lm.acquire("r1", "/f", S)
+    lm.acquire("r2", "/f", S)
+    promoted = lm.release("w", "/f")
+    assert promoted == [("r1", S), ("r2", S)]
+
+
+def test_writer_not_starved_by_late_readers():
+    lm = LockManager()
+    lm.acquire("r1", "/f", S)
+    assert not lm.acquire("w", "/f", X)      # queued behind r1
+    assert not lm.acquire("r2", "/f", S)     # FIFO: may not jump the writer
+    lm.release("r1", "/f")
+    assert lm.holders("/f") == {"w": X}
+
+
+def test_reacquire_idempotent_and_subsumption():
+    lm = LockManager()
+    assert lm.acquire("c1", "/f", X)
+    assert lm.acquire("c1", "/f", X)   # idempotent
+    assert lm.acquire("c1", "/f", S)   # exclusive subsumes shared
+    assert lm.holders("/f") == {"c1": X}
+
+
+def test_upgrade_by_sole_holder():
+    lm = LockManager()
+    lm.acquire("c1", "/f", S)
+    assert lm.acquire("c1", "/f", X)
+    assert lm.holders("/f") == {"c1": X}
+
+
+def test_release_without_hold_rejected():
+    lm = LockManager()
+    with pytest.raises(LockError):
+        lm.release("c1", "/f")
+
+
+def test_release_client_drops_everything_and_promotes():
+    lm = LockManager()
+    lm.acquire("dead", "/a", X)
+    lm.acquire("dead", "/b", S)
+    lm.acquire("live", "/a", S)       # queued behind dead's X
+    lm.acquire("dead", "/c", X)       # a queued request too
+    promoted = lm.release_client("dead")
+    assert ("/a", "live", S) in promoted
+    assert lm.holders("/a") == {"live": S}
+    assert lm.holders("/b") == {}
+    assert lm.waiting("/c") == []
+
+
+def test_table_cleanup():
+    lm = LockManager()
+    lm.acquire("c1", "/f", S)
+    lm.release("c1", "/f")
+    assert len(lm) == 0
+    assert lm.locked_paths() == []
+
+
+def test_grant_and_wait_counters():
+    lm = LockManager()
+    lm.acquire("c1", "/f", X)
+    lm.acquire("c2", "/f", X)
+    assert lm.grants == 1
+    assert lm.waits == 1
+    lm.release("c1", "/f")
+    assert lm.grants == 2

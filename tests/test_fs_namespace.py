@@ -1,0 +1,195 @@
+"""Unit and property tests for the namespace tree."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fs.namespace import (
+    AlreadyExists,
+    Namespace,
+    NotADirectory,
+    NotEmpty,
+    NotFound,
+    FSError,
+)
+
+
+def make() -> Namespace:
+    ns = Namespace("fs0")
+    ns.mkdir("/src")
+    ns.mkdir("/src/lib")
+    ns.create("/src/main.py")
+    ns.create("/src/lib/util.py")
+    return ns
+
+
+def test_mkdir_create_stat():
+    ns = make()
+    assert ns.stat("/src/main.py").size == 0
+    assert ns.readdir("/src") == ["lib", "main.py"]
+    assert ns.readdir("/") == ["src"]
+
+
+def test_exists():
+    ns = make()
+    assert ns.exists("/src/lib/util.py")
+    assert not ns.exists("/src/missing")
+
+
+def test_duplicate_create_rejected():
+    ns = make()
+    with pytest.raises(AlreadyExists):
+        ns.create("/src/main.py")
+    with pytest.raises(AlreadyExists):
+        ns.mkdir("/src")
+
+
+def test_missing_parent_rejected():
+    ns = make()
+    with pytest.raises(NotFound):
+        ns.create("/nope/file")
+
+
+def test_file_as_directory_rejected():
+    ns = make()
+    with pytest.raises(NotADirectory):
+        ns.create("/src/main.py/child")
+    with pytest.raises(NotADirectory):
+        ns.readdir("/src/main.py")
+
+
+def test_setattr():
+    ns = make()
+    attrs = ns.setattr("/src/main.py", size=1024, mode=0o600, now=5.0)
+    assert attrs.size == 1024
+    assert attrs.mode == 0o600
+    assert attrs.mtime == 5.0
+    with pytest.raises(FSError):
+        ns.setattr("/src/main.py", nonsense=1)
+
+
+def test_unlink_and_rmdir():
+    ns = make()
+    ns.unlink("/src/lib/util.py")
+    assert not ns.exists("/src/lib/util.py")
+    ns.rmdir("/src/lib")
+    assert ns.readdir("/src") == ["main.py"]
+
+
+def test_unlink_directory_rejected():
+    ns = make()
+    with pytest.raises(FSError):
+        ns.unlink("/src/lib")
+
+
+def test_rmdir_nonempty_rejected():
+    ns = make()
+    with pytest.raises(NotEmpty):
+        ns.rmdir("/src")
+
+
+def test_rmdir_file_rejected():
+    ns = make()
+    with pytest.raises(NotADirectory):
+        ns.rmdir("/src/main.py")
+
+
+def test_rename_file_and_dir():
+    ns = make()
+    ns.rename("/src/main.py", "/src/app.py")
+    assert ns.exists("/src/app.py")
+    assert not ns.exists("/src/main.py")
+    ns.rename("/src/lib", "/lib2")
+    assert ns.exists("/lib2/util.py")
+
+
+def test_rename_into_self_rejected():
+    ns = make()
+    with pytest.raises(FSError):
+        ns.rename("/src", "/src/lib/inner")
+
+
+def test_rename_to_existing_rejected():
+    ns = make()
+    ns.create("/src/other.py")
+    with pytest.raises(AlreadyExists):
+        ns.rename("/src/main.py", "/src/other.py")
+
+
+def test_generation_bumps_on_mutation_only():
+    ns = make()
+    g = ns.generation
+    ns.stat("/src/main.py")
+    ns.readdir("/src")
+    assert ns.generation == g
+    ns.create("/src/new.py")
+    assert ns.generation == g + 1
+
+
+def test_walk_and_count():
+    ns = make()
+    walked = dict(ns.walk())
+    assert set(walked) == {"/", "/src", "/src/lib", "/src/main.py",
+                           "/src/lib/util.py"}
+    assert ns.count_nodes() == 5
+
+
+def test_image_round_trip():
+    ns = make()
+    ns.setattr("/src/main.py", size=42)
+    image = ns.to_image()
+    restored = Namespace.from_image(image)
+    assert restored.fileset == "fs0"
+    assert restored.generation == ns.generation
+    assert restored.stat("/src/main.py").size == 42
+    assert dict(restored.walk()).keys() == dict(ns.walk()).keys()
+    # Inodes preserved.
+    assert restored._resolve("/src/main.py").inode == ns._resolve("/src/main.py").inode
+
+
+_names = st.sampled_from([f"n{i}" for i in range(6)])
+
+
+@given(data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_random_operation_sequences_keep_tree_consistent(data):
+    """Apply random valid mutations; the tree stays serializable and every
+    created path remains resolvable until removed."""
+    ns = Namespace("prop")
+    dirs = ["/"]
+    files: list[str] = []
+    for _ in range(data.draw(st.integers(1, 25))):
+        action = data.draw(st.sampled_from(["mkdir", "create", "unlink", "rename"]))
+        if action == "mkdir":
+            base = data.draw(st.sampled_from(dirs))
+            name = data.draw(_names)
+            path = (base if base != "/" else "") + "/" + name
+            if not ns.exists(path):
+                ns.mkdir(path)
+                dirs.append(path)
+        elif action == "create":
+            base = data.draw(st.sampled_from(dirs))
+            name = data.draw(_names) + ".f"
+            path = (base if base != "/" else "") + "/" + name
+            if not ns.exists(path):
+                ns.create(path)
+                files.append(path)
+        elif action == "unlink" and files:
+            path = data.draw(st.sampled_from(files))
+            if ns.exists(path):
+                ns.unlink(path)
+            files.remove(path)
+        elif action == "rename" and files:
+            src = data.draw(st.sampled_from(files))
+            if not ns.exists(src):
+                continue
+            dst = src + "x"
+            if not ns.exists(dst):
+                ns.rename(src, dst)
+                files.remove(src)
+                files.append(dst)
+        # Invariants: all tracked files exist; image round-trips.
+        for f in files:
+            assert ns.exists(f)
+        restored = Namespace.from_image(ns.to_image())
+        assert restored.count_nodes() == ns.count_nodes()

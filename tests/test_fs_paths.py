@@ -1,0 +1,81 @@
+"""Unit tests for path handling."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fs.paths import (
+    PathError,
+    basename,
+    components,
+    is_ancestor,
+    join,
+    normalize,
+    parent,
+)
+
+
+def test_normalize_canonical_forms():
+    assert normalize("/a/b") == "/a/b"
+    assert normalize("//a///b//") == "/a/b"
+    assert normalize("/") == "/"
+
+
+def test_normalize_rejects_bad_paths():
+    for bad in ("", "relative", "/a/../b", "/a/./b", "/a\x00b"):
+        with pytest.raises(PathError):
+            normalize(bad)
+
+
+def test_components():
+    assert components("/") == []
+    assert components("/a/b/c") == ["a", "b", "c"]
+
+
+def test_parent_and_basename():
+    assert parent("/a/b/c") == "/a/b"
+    assert parent("/a") == "/"
+    assert basename("/a/b") == "b"
+    with pytest.raises(PathError):
+        parent("/")
+    with pytest.raises(PathError):
+        basename("/")
+
+
+def test_join():
+    assert join("/", "a") == "/a"
+    assert join("/a", "b", "c") == "/a/b/c"
+    assert join("/a") == "/a"
+    with pytest.raises(PathError):
+        join("/a", "b/c")
+    with pytest.raises(PathError):
+        join("/a", "..")
+    with pytest.raises(PathError):
+        join("/a", "")
+
+
+def test_is_ancestor():
+    assert is_ancestor("/", "/a/b")
+    assert is_ancestor("/a", "/a/b")
+    assert is_ancestor("/a/b", "/a/b")
+    assert not is_ancestor("/a/b", "/a")
+    assert not is_ancestor("/a", "/ab")  # component-wise, not prefix-wise
+
+
+name_st = st.text(
+    alphabet=st.characters(whitelist_categories=("Ll", "Nd")), min_size=1, max_size=8
+)
+
+
+@given(parts=st.lists(name_st, min_size=1, max_size=6))
+def test_join_parent_roundtrip(parts):
+    path = join("/", *parts)
+    assert components(path) == parts
+    assert basename(path) == parts[-1]
+    assert parent(path) == (join("/", *parts[:-1]) if len(parts) > 1 else "/")
+
+
+@given(parts=st.lists(name_st, min_size=0, max_size=6))
+def test_normalize_idempotent(parts):
+    path = "/" + "/".join(parts) if parts else "/"
+    assert normalize(normalize(path)) == normalize(path)

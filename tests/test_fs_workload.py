@@ -1,0 +1,146 @@
+"""Tests for FS-level workload generation and the trace bridge."""
+
+import numpy as np
+import pytest
+
+from repro.fs import (
+    FsWorkloadConfig,
+    MetadataCluster,
+    OpType,
+    generate_operations,
+    ops_to_trace,
+    populate,
+)
+
+ROOTS = {f"fs{i}": f"/v{i}" for i in range(5)}
+
+
+def make_cluster() -> MetadataCluster:
+    return MetadataCluster(["x", "y"], ROOTS)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        FsWorkloadConfig(n_operations=-1)
+    with pytest.raises(ValueError):
+        FsWorkloadConfig(duration=0.0)
+    with pytest.raises(ValueError):
+        FsWorkloadConfig(mix={})
+
+
+def test_populate_creates_structure():
+    cluster = make_cluster()
+    cfg = FsWorkloadConfig(files_per_fileset=8, dirs_per_fileset=2)
+    created = populate(cluster, cfg)
+    assert set(created) == set(ROOTS)
+    files, dirs = created["fs0"]
+    assert len(dirs) == 2
+    assert len(files) == 8
+    from repro.fs import FileSystemClient
+
+    client = FileSystemClient(cluster)
+    for f in files:
+        assert client.exists(f)
+
+
+def test_generated_operations_all_replayable():
+    """Every generated operation succeeds when replayed in order — the
+    key property that makes FS-derived traces honest."""
+    cluster = make_cluster()
+    ops = generate_operations(
+        cluster, FsWorkloadConfig(n_operations=1500, duration=60.0, seed=3)
+    )
+    failures = []
+    for op in ops:
+        _, res = cluster.submit(op)
+        if not res.ok:
+            failures.append((op.op, op.path, res.error))
+    assert failures == []
+    cluster.check_consistency()
+
+
+def test_operations_time_ordered_and_in_duration():
+    cluster = make_cluster()
+    cfg = FsWorkloadConfig(n_operations=500, duration=50.0, seed=1)
+    ops = generate_operations(cluster, cfg)
+    times = [op.time for op in ops]
+    assert times == sorted(times)
+    assert all(0 <= t < 50.0 for t in times)
+
+
+def test_popularity_skew_shapes_distribution():
+    cluster = make_cluster()
+    cfg = FsWorkloadConfig(n_operations=6000, duration=100.0,
+                           popularity_skew=1.5, seed=2)
+    ops = generate_operations(cluster, cfg)
+    counts: dict[str, int] = {}
+    for op in ops:
+        fs = cluster.registry.fileset_of(op.path)
+        counts[fs] = counts.get(fs, 0) + 1
+    ordered = sorted(counts.values())
+    assert ordered[-1] > 3 * ordered[0]
+
+
+def test_zero_skew_roughly_uniform():
+    cluster = make_cluster()
+    cfg = FsWorkloadConfig(n_operations=5000, duration=100.0,
+                           popularity_skew=0.0, seed=2)
+    ops = generate_operations(cluster, cfg)
+    counts: dict[str, int] = {}
+    for op in ops:
+        fs = cluster.registry.fileset_of(op.path)
+        counts[fs] = counts.get(fs, 0) + 1
+    vals = np.array(list(counts.values()), dtype=float)
+    assert vals.max() / vals.min() < 1.5
+
+
+def test_deterministic_by_seed():
+    ops1 = generate_operations(
+        make_cluster(), FsWorkloadConfig(n_operations=300, duration=10.0, seed=7)
+    )
+    ops2 = generate_operations(
+        make_cluster(), FsWorkloadConfig(n_operations=300, duration=10.0, seed=7)
+    )
+    assert [(o.op, o.path, o.time) for o in ops1] == [
+        (o.op, o.path, o.time) for o in ops2
+    ]
+
+
+def test_ops_to_trace_costs_and_order():
+    cluster = make_cluster()
+    ops = generate_operations(
+        cluster, FsWorkloadConfig(n_operations=800, duration=40.0, seed=4)
+    )
+    trace = ops_to_trace(ops, cluster.registry, mean_cost=0.2, duration=40.0)
+    assert len(trace) == len(ops)
+    assert trace.duration == 40.0
+    assert np.all(np.diff(trace.times) >= 0)
+    # Costs scale with op weights: readdir costs more than stat.
+    readdir_cost = 0.2 * OpType.READDIR.weight / _mean_weight()
+    stat_cost = 0.2 * OpType.STAT.weight / _mean_weight()
+    assert readdir_cost > stat_cost
+    assert set(np.round(np.unique(trace.costs), 9)) <= {
+        round(0.2 * t.weight / _mean_weight(), 9) for t in OpType
+    }
+
+
+def _mean_weight() -> float:
+    from repro.fs import MEAN_WEIGHT
+
+    return MEAN_WEIGHT
+
+
+def test_fs_trace_drives_queueing_simulator():
+    """End-to-end: FS-derived trace through the queueing cluster sim."""
+    from repro.cluster import ClusterConfig, ClusterSimulation, paper_servers
+    from repro.placement import ANUPolicy
+
+    cluster = make_cluster()
+    ops = generate_operations(
+        cluster, FsWorkloadConfig(n_operations=3000, duration=600.0, seed=5)
+    )
+    trace = ops_to_trace(ops, cluster.registry, mean_cost=0.2, duration=600.0)
+    sim_cfg = ClusterConfig(servers=paper_servers(), tuning_interval=120.0,
+                            sample_window=60.0, seed=0)
+    result = ClusterSimulation(sim_cfg, ANUPolicy(), trace).run()
+    assert result.total_requests == len(trace)

@@ -1,0 +1,92 @@
+"""Unit tests for the placement hash family."""
+
+import numpy as np
+import pytest
+
+from repro.core.hashing import HashFamily, hash64, hash_to_choice, hash_to_unit
+
+
+def test_hash64_deterministic_across_calls():
+    assert hash64("fileset-a", 0) == hash64("fileset-a", 0)
+
+
+def test_hash64_varies_by_round():
+    values = {hash64("fileset-a", r) for r in range(16)}
+    assert len(values) == 16
+
+
+def test_hash64_varies_by_namespace():
+    assert hash64("x", 0, "a") != hash64("x", 0, "b")
+
+
+def test_hash_to_unit_in_range():
+    for i in range(100):
+        x = hash_to_unit(f"name-{i}", 0)
+        assert 0.0 <= x < 1.0
+
+
+def test_hash_to_unit_roughly_uniform():
+    xs = np.array([hash_to_unit(f"n{i}", 0) for i in range(5000)])
+    # Chi-square over 10 equal buckets; loose bound.
+    counts, _ = np.histogram(xs, bins=10, range=(0, 1))
+    expected = 500
+    chi2 = ((counts - expected) ** 2 / expected).sum()
+    assert chi2 < 30  # df=9, p ~ 0.0005 cutoff
+
+
+def test_hash_to_choice_range_and_determinism():
+    for n in (1, 2, 7):
+        c = hash_to_choice("abc", 3, n)
+        assert 0 <= c < n
+        assert c == hash_to_choice("abc", 3, n)
+
+
+def test_hash_to_choice_rejects_empty():
+    with pytest.raises(ValueError):
+        hash_to_choice("abc", 0, 0)
+
+
+def test_negative_round_rejected():
+    with pytest.raises(ValueError):
+        hash64("x", -1)
+
+
+def test_family_probe_sequence_matches_probes():
+    family = HashFamily(max_rounds=5)
+    probes = family.probes("fs1")
+    assert len(probes) == 5
+    assert probes == [family.probe("fs1", r) for r in range(5)]
+
+
+def test_family_probe_beyond_rounds_rejected():
+    family = HashFamily(max_rounds=3)
+    with pytest.raises(ValueError):
+        family.probe("fs1", 3)
+
+
+def test_family_requires_positive_rounds():
+    with pytest.raises(ValueError):
+        HashFamily(max_rounds=0)
+
+
+def test_fallback_choice_order_independent():
+    family = HashFamily()
+    a = family.fallback_choice("fs9", ["s2", "s0", "s1"])
+    b = family.fallback_choice("fs9", ["s0", "s1", "s2"])
+    assert a == b
+    assert a in {"s0", "s1", "s2"}
+
+
+def test_fallback_choice_empty_rejected():
+    family = HashFamily()
+    with pytest.raises(ValueError):
+        family.fallback_choice("fs9", [])
+
+
+def test_probe_rounds_look_independent():
+    """Across many names, round-0 and round-1 probes are uncorrelated."""
+    family = HashFamily()
+    p0 = np.array([family.probe(f"n{i}", 0) for i in range(2000)])
+    p1 = np.array([family.probe(f"n{i}", 1) for i in range(2000)])
+    corr = np.corrcoef(p0, p1)[0, 1]
+    assert abs(corr) < 0.08

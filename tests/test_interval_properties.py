@@ -1,0 +1,170 @@
+"""Property-based tests (hypothesis) for the interval invariants.
+
+These drive random sequences of operations — share rescaling, server
+add/remove, repartitioning — and assert the paper's structural invariants
+after every step (exactly, thanks to integer tick arithmetic):
+
+- half occupancy: mapped ticks sum to exactly HALF;
+- partition exclusivity, at most one partial partition per server;
+- a wholly-free partition always exists;
+- p >= 2*(n+1);
+- repartitioning never moves a point's owner;
+- shrinking a server never grows its region.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import HALF, IntervalError, MappedInterval
+
+server_counts = st.integers(min_value=1, max_value=9)
+shares_lists = st.lists(
+    st.floats(min_value=0.0, max_value=100.0, allow_nan=False), min_size=1, max_size=9
+)
+
+
+def make_interval(n: int) -> MappedInterval:
+    return MappedInterval([f"s{i}" for i in range(n)])
+
+
+@given(n=server_counts)
+def test_initial_interval_satisfies_invariants(n):
+    iv = make_interval(n)
+    iv.check_invariants()
+    assert sum(iv.shares().values()) == HALF
+
+
+@given(
+    n=st.integers(min_value=2, max_value=8),
+    weights=st.lists(
+        st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+        min_size=2,
+        max_size=8,
+    ),
+)
+def test_set_shares_preserves_invariants(n, weights):
+    iv = make_interval(n)
+    names = iv.servers
+    padded = (weights * n)[:n]
+    if sum(padded) <= 0:
+        padded[0] = 1.0
+    iv.set_shares(dict(zip(names, padded)))
+    iv.check_invariants()
+
+
+@given(
+    seed_weights=st.lists(
+        st.floats(min_value=0.01, max_value=20.0, allow_nan=False),
+        min_size=3,
+        max_size=6,
+    ),
+    rounds=st.integers(min_value=1, max_value=6),
+    data=st.data(),
+)
+@settings(max_examples=60, deadline=None)
+def test_random_rescale_sequences_hold_invariants(seed_weights, rounds, data):
+    n = len(seed_weights)
+    iv = make_interval(n)
+    names = iv.servers
+    for _ in range(rounds):
+        new = {
+            name: data.draw(
+                st.floats(min_value=0.0, max_value=30.0, allow_nan=False)
+            )
+            for name in names
+        }
+        if sum(new.values()) <= 0:
+            new[names[0]] = 1.0
+        iv.set_shares(new)
+        iv.check_invariants()
+        assert sum(iv.shares().values()) == HALF
+
+
+@given(data=st.data())
+@settings(max_examples=50, deadline=None)
+def test_membership_change_sequences_hold_invariants(data):
+    iv = make_interval(3)
+    next_id = 3
+    for _ in range(data.draw(st.integers(min_value=1, max_value=8))):
+        add = data.draw(st.booleans())
+        if add or iv.n_servers == 1:
+            iv.add_server(f"s{next_id}")
+            next_id += 1
+        else:
+            victim = data.draw(st.sampled_from(iv.servers))
+            iv.remove_server(victim)
+        iv.check_invariants()
+        assert iv.partitions >= 2 * (iv.n_servers + 1)
+        assert iv.free_partitions()
+
+
+@given(
+    n=st.integers(min_value=1, max_value=6),
+    shares=st.lists(
+        st.floats(min_value=0.05, max_value=10.0, allow_nan=False),
+        min_size=1,
+        max_size=6,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_repartition_never_moves_a_point(n, shares):
+    iv = make_interval(n)
+    padded = (shares * n)[:n]
+    iv.set_shares(dict(zip(iv.servers, padded)))
+    probes = [i / 509 for i in range(509)]
+    before = [iv.locate_point(x) for x in probes]
+    iv.repartition()
+    iv.check_invariants()
+    assert [iv.locate_point(x) for x in probes] == before
+
+
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    shrink_idx=st.integers(min_value=0, max_value=5),
+)
+def test_shrinking_server_keeps_subset_of_region(n, shrink_idx):
+    iv = make_interval(n)
+    victim = iv.servers[shrink_idx % n]
+    before = iv.segments(victim)
+    shares = {s: 1.0 for s in iv.servers}
+    shares[victim] = 0.25
+    iv.set_shares(shares)
+    iv.check_invariants()
+    for seg in iv.segments(victim):
+        assert any(
+            old.start <= seg.start and seg.end <= old.end for old in before
+        ), f"{victim} gained space while shrinking"
+
+
+@given(n=st.integers(min_value=2, max_value=6), data=st.data())
+@settings(max_examples=40, deadline=None)
+def test_locate_point_matches_share_fractions(n, data):
+    """Empirical hit rate of each server ~ its share fraction."""
+    iv = make_interval(n)
+    weights = {
+        s: data.draw(st.floats(min_value=0.1, max_value=5.0, allow_nan=False))
+        for s in iv.servers
+    }
+    iv.set_shares(weights)
+    grid = 2048
+    hits = {s: 0 for s in iv.servers}
+    unmapped = 0
+    for i in range(grid):
+        owner = iv.locate_point((i + 0.5) / grid)
+        if owner is None:
+            unmapped += 1
+        else:
+            hits[owner] += 1
+    assert abs(unmapped / grid - 0.5) < 0.02
+    for s in iv.servers:
+        assert abs(hits[s] / grid - iv.share_fraction(s)) < 0.02
+
+
+@given(n=server_counts)
+def test_remove_then_add_round_trip(n):
+    iv = make_interval(n)
+    iv.add_server("extra")
+    iv.check_invariants()
+    iv.remove_server("extra")
+    iv.check_invariants()
+    assert set(iv.servers) == {f"s{i}" for i in range(n)}

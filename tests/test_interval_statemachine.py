@@ -1,0 +1,91 @@
+"""Stateful model-based test of the mapped interval.
+
+A hypothesis rule machine interleaves rescales, membership changes, and
+explicit repartitions; after every rule it checks the structural
+invariants *and* cross-validates :meth:`locate_point` against the
+segment list (two independent code paths to the same answer).
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.core.interval import HALF, MappedInterval
+
+PROBES = [i / 257 for i in range(257)]
+
+
+class IntervalMachine(RuleBasedStateMachine):
+    @initialize(n=st.integers(min_value=1, max_value=5))
+    def setup(self, n: int) -> None:
+        self.names = [f"s{i}" for i in range(n)]
+        self.next_id = n
+        self.interval = MappedInterval(self.names)
+
+    @rule(data=st.data())
+    def rescale(self, data) -> None:
+        weights = {
+            name: data.draw(
+                st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+                label=f"w[{name}]",
+            )
+            for name in self.names
+        }
+        if sum(weights.values()) <= 0:
+            weights[self.names[0]] = 1.0
+        self.interval.set_shares(weights)
+
+    @rule()
+    def add_server(self) -> None:
+        name = f"s{self.next_id}"
+        self.next_id += 1
+        self.interval.add_server(name)
+        self.names.append(name)
+
+    @precondition(lambda self: len(self.names) > 1)
+    @rule(idx=st.integers(min_value=0, max_value=9))
+    def remove_server(self, idx: int) -> None:
+        victim = self.names.pop(idx % len(self.names))
+        self.interval.remove_server(victim)
+
+    @precondition(lambda self: self.interval.partitions < 2**12)
+    @rule()
+    def repartition(self) -> None:
+        before = [self.interval.locate_point(x) for x in PROBES]
+        self.interval.repartition()
+        after = [self.interval.locate_point(x) for x in PROBES]
+        assert before == after  # splitting moves no point
+
+    # ------------------------------------------------------------------
+    @invariant()
+    def structural_invariants(self) -> None:
+        self.interval.check_invariants()
+        assert sum(self.interval.shares().values()) == HALF
+
+    @invariant()
+    def locate_matches_segments(self) -> None:
+        """locate_point agrees with the merged segment lists."""
+        for x in PROBES[::8]:
+            owner = self.interval.locate_point(x)
+            containing = [
+                s
+                for s in self.interval.servers
+                for seg in self.interval.segments(s)
+                if seg.start <= x < seg.end
+            ]
+            if owner is None:
+                assert containing == []
+            else:
+                assert containing == [owner]
+
+
+IntervalMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=20, deadline=None
+)
+TestIntervalMachine = IntervalMachine.TestCase

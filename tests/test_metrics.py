@@ -1,0 +1,156 @@
+"""Unit tests for latency collection and balance metrics."""
+
+import numpy as np
+import pytest
+
+from repro.metrics.balance import (
+    balance_summary,
+    coefficient_of_variation,
+    gini,
+    jain_fairness,
+    max_over_mean,
+)
+from repro.metrics.latency import LatencyCollector
+
+
+# ----------------------------------------------------------------------
+# LatencyCollector
+# ----------------------------------------------------------------------
+def test_interval_report_mean_and_count():
+    c = LatencyCollector()
+    c.record("s1", 10.0, 0.1)
+    c.record("s1", 20.0, 0.3)
+    c.record("s1", 130.0, 0.9)
+    rep = c.interval_report("s1", 0.0, 100.0)
+    assert rep.request_count == 2
+    assert rep.mean_latency == pytest.approx(0.2)
+
+
+def test_interval_report_empty_window():
+    c = LatencyCollector()
+    rep = c.interval_report("s1", 0.0, 100.0)
+    assert rep.request_count == 0
+    assert rep.mean_latency == 0.0
+
+
+def test_reports_cover_absent_servers():
+    c = LatencyCollector()
+    reps = c.reports(["a", "b"], 0.0, 10.0)
+    assert [r.name for r in reps] == ["a", "b"]
+
+
+def test_negative_latency_rejected():
+    c = LatencyCollector()
+    with pytest.raises(ValueError):
+        c.record("s1", 1.0, -0.1)
+
+
+def test_series_binning():
+    c = LatencyCollector()
+    c.ensure_server("quiet")
+    c.record("s1", 5.0, 0.2)
+    c.record("s1", 15.0, 0.4)
+    c.record("s1", 16.0, 0.6)
+    series = c.series(duration=30.0, window=10.0)
+    assert list(series.times) == [0.0, 10.0, 20.0]
+    np.testing.assert_allclose(series.mean_latency["s1"], [0.2, 0.5, 0.0])
+    np.testing.assert_allclose(series.counts["s1"], [1, 2, 0])
+    # Quiet server present with zeros.
+    np.testing.assert_allclose(series.mean_latency["quiet"], [0, 0, 0])
+
+
+def test_series_clips_samples_beyond_duration():
+    c = LatencyCollector()
+    c.record("s1", 35.0, 1.0)  # beyond duration; lands in the last window
+    series = c.series(duration=30.0, window=10.0)
+    assert series.counts["s1"][-1] == 1
+
+
+def test_series_validation():
+    c = LatencyCollector()
+    with pytest.raises(ValueError):
+        c.series(duration=0.0, window=1.0)
+    with pytest.raises(ValueError):
+        c.series(duration=10.0, window=0.0)
+
+
+def test_series_stats_helpers():
+    c = LatencyCollector()
+    for t, lat in [(1, 0.1), (11, 0.2), (21, 0.9)]:
+        c.record("s1", float(t), lat)
+    series = c.series(30.0, 10.0)
+    assert series.peak("s1") == pytest.approx(0.9)
+    assert series.mean_over_run("s1") == pytest.approx(0.4)
+    assert series.tail_window_mean("s1", 1) == pytest.approx(0.9)
+    assert series.servers == ["s1"]
+
+
+def test_sample_count():
+    c = LatencyCollector()
+    c.record("a", 1.0, 0.1)
+    c.record("b", 1.0, 0.1)
+    assert c.sample_count("a") == 1
+    assert c.sample_count() == 2
+
+
+# ----------------------------------------------------------------------
+# Balance metrics
+# ----------------------------------------------------------------------
+def test_perfect_balance():
+    load = {"a": 2.0, "b": 2.0, "c": 2.0}
+    assert coefficient_of_variation(load) == 0.0
+    assert max_over_mean(load) == 1.0
+    assert jain_fairness(load) == pytest.approx(1.0)
+    assert gini(load) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_single_hot_spot():
+    load = {"a": 9.0, "b": 0.0, "c": 0.0}
+    assert jain_fairness(load) == pytest.approx(1 / 3)
+    assert max_over_mean(load) == pytest.approx(3.0)
+    assert gini(load) == pytest.approx(2 / 3, abs=1e-9)
+
+
+def test_capacity_weights_normalize_heterogeneous_servers():
+    # Load exactly proportional to speed = balanced after weighting.
+    load = {"slow": 1.0, "fast": 9.0}
+    weights = {"slow": 1.0, "fast": 9.0}
+    assert coefficient_of_variation(load, weights) == 0.0
+    assert jain_fairness(load, weights) == pytest.approx(1.0)
+
+
+def test_sequence_inputs():
+    assert max_over_mean([1.0, 3.0]) == pytest.approx(1.5)
+    assert coefficient_of_variation([2.0, 2.0]) == 0.0
+
+
+def test_weight_length_mismatch():
+    with pytest.raises(ValueError):
+        coefficient_of_variation([1.0, 2.0], [1.0])
+
+
+def test_weights_must_be_mapping_for_mapping_load():
+    with pytest.raises(TypeError):
+        max_over_mean({"a": 1.0}, [1.0])  # type: ignore[arg-type]
+
+
+def test_negative_load_rejected():
+    with pytest.raises(ValueError):
+        gini([-1.0, 1.0])
+
+
+def test_empty_and_zero_loads():
+    assert coefficient_of_variation([]) == 0.0
+    assert max_over_mean([]) == 1.0
+    assert jain_fairness([]) == 1.0
+    assert gini([0.0, 0.0]) == 0.0
+
+
+def test_balance_summary_keys():
+    summary = balance_summary({"a": 1.0, "b": 2.0})
+    assert set(summary) == {"cov", "max_over_mean", "jain", "gini"}
+
+
+def test_gini_known_value():
+    # Two servers, one with everything: gini = 1/2 for n=2.
+    assert gini([0.0, 10.0]) == pytest.approx(0.5)

@@ -1,0 +1,66 @@
+"""Unit tests for assignment diffing and movement accounting."""
+
+import pytest
+
+from repro.core.movement import MovementLedger, diff_assignment
+
+
+def test_diff_identical_assignments():
+    a = {"f1": "s1", "f2": "s2"}
+    diff = diff_assignment(a, dict(a))
+    assert diff.moved == 0
+    assert diff.stayed == 2
+    assert diff.moved_fraction == 0.0
+
+
+def test_diff_counts_moves():
+    old = {"f1": "s1", "f2": "s2", "f3": "s1"}
+    new = {"f1": "s2", "f2": "s2", "f3": "s3"}
+    diff = diff_assignment(old, new)
+    assert diff.moved == 2
+    assert diff.stayed == 1
+    assert {m.fileset for m in diff.moves} == {"f1", "f3"}
+    move = next(m for m in diff.moves if m.fileset == "f1")
+    assert move.source == "s1" and move.destination == "s2"
+
+
+def test_diff_new_fileset_counts_as_fresh_placement():
+    diff = diff_assignment({}, {"f1": "s1"})
+    assert diff.moved == 1
+    assert diff.moves[0].source is None
+
+
+def test_diff_deleted_fileset_ignored():
+    diff = diff_assignment({"gone": "s1"}, {})
+    assert diff.total == 0
+
+
+def test_moved_fraction_empty_is_zero():
+    assert diff_assignment({}, {}).moved_fraction == 0.0
+
+
+def test_moves_sorted_by_fileset():
+    old = {"b": "s1", "a": "s1", "c": "s1"}
+    new = {"b": "s2", "a": "s2", "c": "s2"}
+    diff = diff_assignment(old, new)
+    assert [m.fileset for m in diff.moves] == ["a", "b", "c"]
+
+
+def test_ledger_accumulates():
+    ledger = MovementLedger()
+    ledger.record(diff_assignment({"a": "x", "b": "x"}, {"a": "y", "b": "x"}))
+    ledger.record(diff_assignment({"a": "y", "b": "x"}, {"a": "y", "b": "x"}))
+    assert ledger.reconfigurations == 2
+    assert ledger.total_moves == 1
+    assert ledger.total_stayed == 3
+    assert ledger.mean_moves == pytest.approx(0.5)
+    assert ledger.preservation == pytest.approx(3 / 4)
+    assert ledger.moves_per_reconfig == [1, 0]
+
+
+def test_ledger_empty_defaults():
+    ledger = MovementLedger()
+    assert ledger.mean_moves == 0.0
+    assert ledger.preservation == 1.0
+    summary = ledger.summary()
+    assert summary["reconfigurations"] == 0.0

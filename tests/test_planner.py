@@ -1,0 +1,139 @@
+"""Tests for the capacity planner and trace thinning."""
+
+import numpy as np
+import pytest
+
+from repro.experiments.planner import (
+    Candidate,
+    CandidateResult,
+    LatencyObjective,
+    PlanReport,
+    evaluate_candidate,
+    plan_capacity,
+)
+from repro.workloads import SyntheticConfig, generate_synthetic
+
+
+def trace(n_requests=8000, duration=1600.0, cost=0.35, seed=3):
+    return generate_synthetic(
+        SyntheticConfig(n_filesets=60, n_requests=n_requests,
+                        duration=duration, request_cost=cost, seed=seed)
+    )
+
+
+SMALL = Candidate("small", {"a": 1.0, "b": 1.0})
+MEDIUM = Candidate("medium", {"a": 3.0, "b": 3.0, "c": 3.0})
+BIG = Candidate("big", {f"s{i}": 9.0 for i in range(4)})
+
+
+# ----------------------------------------------------------------------
+# Trace.thin
+# ----------------------------------------------------------------------
+def test_thin_keeps_about_fraction():
+    t = trace()
+    half = t.thin(0.5, seed=1)
+    assert len(half) == pytest.approx(len(t) * 0.5, rel=0.1)
+    assert half.duration == t.duration
+    assert np.all(np.diff(half.times) >= 0)
+
+
+def test_thin_preserves_fileset_rate_ratios():
+    t = trace(n_requests=40_000)
+    half = t.thin(0.5, seed=2)
+    full_counts = t.counts_by_fileset()
+    half_counts = half.counts_by_fileset()
+    hot = max(full_counts, key=full_counts.get)
+    assert half_counts[hot] == pytest.approx(full_counts[hot] * 0.5, rel=0.15)
+
+
+def test_thin_identity_and_validation():
+    t = trace(n_requests=100)
+    same = t.thin(1.0)
+    assert len(same) == 100
+    with pytest.raises(ValueError):
+        t.thin(0.0)
+    with pytest.raises(ValueError):
+        t.thin(1.5)
+
+
+# ----------------------------------------------------------------------
+# Objective / candidate plumbing
+# ----------------------------------------------------------------------
+def test_objective_validation():
+    with pytest.raises(ValueError):
+        LatencyObjective(percentile=0.0)
+    with pytest.raises(ValueError):
+        LatencyObjective(bound=0.0)
+    with pytest.raises(ValueError):
+        LatencyObjective(steady_tail_fraction=0.0)
+
+
+def test_candidate_cost_defaults_to_aggregate_speed():
+    assert SMALL.effective_cost == 2.0
+    assert Candidate("x", {"a": 1.0}, cost=99.0).effective_cost == 99.0
+
+
+def test_evaluate_candidate_requires_servers():
+    with pytest.raises(ValueError):
+        evaluate_candidate(Candidate("empty", {}), trace(n_requests=10),
+                           LatencyObjective())
+
+
+# ----------------------------------------------------------------------
+# Planning
+# ----------------------------------------------------------------------
+def test_bigger_cluster_measures_lower_latency():
+    t = trace()
+    obj = LatencyObjective(percentile=95.0, bound=0.05)
+    small = evaluate_candidate(SMALL, t, obj)
+    big = evaluate_candidate(BIG, t, obj)
+    assert big.measured < small.measured
+
+
+def test_plan_recommends_cheapest_passing():
+    t = trace()
+    report = plan_capacity([BIG, MEDIUM, SMALL], t,
+                           LatencyObjective(percentile=95.0, bound=0.08))
+    assert isinstance(report, PlanReport)
+    rec = report.recommended
+    assert rec is not None
+    passing = [r for r in report.results if r.passed]
+    assert rec.candidate.effective_cost == min(
+        r.candidate.effective_cost for r in passing
+    )
+    # The big cluster certainly passes a loose bound.
+    assert any(r.candidate.name == "big" and r.passed for r in report.results)
+
+
+def test_plan_none_when_impossible():
+    t = trace(cost=0.8)  # heavy ops
+    report = plan_capacity(
+        [SMALL],
+        t,
+        LatencyObjective(percentile=99.0, bound=0.0001),
+    )
+    assert report.recommended is None
+    assert "none" in report.table()
+
+
+def test_plan_table_renders():
+    t = trace(n_requests=2000, duration=600.0)
+    report = plan_capacity([SMALL, BIG], t,
+                           LatencyObjective(bound=0.1))
+    table = report.table()
+    assert "candidate" in table and "PASS" in table or "fail" in table
+    assert "recommended:" in table
+
+
+def test_thinned_planning_preserves_ordering():
+    t = trace(n_requests=20_000)
+    obj = LatencyObjective(bound=0.05)
+    full = plan_capacity([SMALL, BIG], t, obj)
+    thinned = plan_capacity([SMALL, BIG], t, obj, thin_to=0.3)
+
+    def measured(report, name):
+        return next(r.measured for r in report.results
+                    if r.candidate.name == name)
+
+    assert measured(full, "big") < measured(full, "small")
+    assert measured(thinned, "big") < measured(thinned, "small")

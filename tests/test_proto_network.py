@@ -1,0 +1,107 @@
+"""Unit tests for the simulated message network."""
+
+import numpy as np
+import pytest
+
+from repro.proto.network import Network, NetworkConfig, NetworkError
+from repro.sim import Engine
+
+
+def make(loss: float = 0.0, seed: int = 0) -> tuple[Engine, Network]:
+    engine = Engine()
+    net = Network(engine, np.random.default_rng(seed),
+                  NetworkConfig(min_latency=0.001, max_latency=0.01, loss=loss))
+    return engine, net
+
+
+def test_config_validation():
+    with pytest.raises(NetworkError):
+        NetworkConfig(min_latency=0.5, max_latency=0.1)
+    with pytest.raises(NetworkError):
+        NetworkConfig(loss=1.0)
+    with pytest.raises(NetworkError):
+        NetworkConfig(min_latency=-1.0)
+
+
+def test_send_delivers_within_latency_bounds():
+    engine, net = make()
+    inbox = []
+    net.register("a", lambda src, msg: inbox.append((engine.now, src, msg)))
+    net.register("b", lambda src, msg: None)
+    net.send("b", "a", "hello")
+    engine.run()
+    assert len(inbox) == 1
+    t, src, msg = inbox[0]
+    assert 0.001 <= t <= 0.01
+    assert src == "b" and msg == "hello"
+
+
+def test_unknown_endpoints_rejected():
+    _, net = make()
+    net.register("a", lambda s, m: None)
+    with pytest.raises(NetworkError):
+        net.send("a", "ghost", "x")
+    with pytest.raises(NetworkError):
+        net.send("ghost", "a", "x")
+    with pytest.raises(NetworkError):
+        net.register("a", lambda s, m: None)
+
+
+def test_broadcast_excludes_self_by_default():
+    engine, net = make()
+    boxes = {n: [] for n in "abc"}
+    for n in "abc":
+        net.register(n, (lambda n: lambda s, m: boxes[n].append(m))(n))
+    net.broadcast("a", "ping")
+    engine.run()
+    assert boxes["a"] == []
+    assert boxes["b"] == ["ping"] and boxes["c"] == ["ping"]
+    net.broadcast("a", "pong", include_self=True)
+    engine.run()
+    assert boxes["a"] == ["pong"]
+
+
+def test_down_node_drops_messages():
+    engine, net = make()
+    inbox = []
+    net.register("a", lambda s, m: inbox.append(m))
+    net.register("b", lambda s, m: None)
+    net.set_down("a")
+    net.send("b", "a", "lost")
+    engine.run()
+    assert inbox == []
+    assert net.dropped == 1
+    net.set_up("a")
+    net.send("b", "a", "found")
+    engine.run()
+    assert inbox == ["found"]
+
+
+def test_loss_rate_roughly_honoured():
+    engine, net = make(loss=0.3, seed=42)
+    received = []
+    net.register("a", lambda s, m: received.append(m))
+    net.register("b", lambda s, m: None)
+    for i in range(2000):
+        net.send("b", "a", i)
+    engine.run()
+    rate = 1 - len(received) / 2000
+    assert rate == pytest.approx(0.3, abs=0.05)
+
+
+def test_counters():
+    engine, net = make()
+    net.register("a", lambda s, m: None)
+    net.register("b", lambda s, m: None)
+    net.send("a", "b", 1)
+    net.send("b", "a", 2)
+    engine.run()
+    assert net.sent == 2
+    assert net.delivered == 2
+    assert net.dropped == 0
+
+
+def test_set_down_unknown_rejected():
+    _, net = make()
+    with pytest.raises(NetworkError):
+        net.set_down("ghost")

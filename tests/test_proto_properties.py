@@ -1,0 +1,100 @@
+"""Property tests for the delegate protocol.
+
+Random crash/recover schedules (keeping at least one node alive) must
+always converge to exactly one delegate that every live node agrees on,
+with monotone epochs — the safety/liveness core of the §4 control plane.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.proto import ControlPlane, ProtocolConfig
+
+FAST = ProtocolConfig(
+    heartbeat_interval=0.5,
+    heartbeat_timeout=1.6,
+    election_timeout=0.3,
+    report_timeout=0.3,
+    tuning_interval=5.0,
+)
+
+#: Settle time after the last membership event: generous multiple of the
+#: heartbeat timeout + election rounds.
+SETTLE = 12.0
+
+
+@given(
+    n=st.integers(min_value=2, max_value=6),
+    events=st.lists(
+        st.tuples(
+            st.floats(min_value=1.0, max_value=30.0, allow_nan=False),
+            st.integers(min_value=0, max_value=5),
+        ),
+        min_size=0,
+        max_size=5,
+    ),
+    seed=st.integers(min_value=0, max_value=10_000),
+)
+@settings(max_examples=25, deadline=None)
+def test_single_agreed_delegate_after_any_crash_recover_schedule(
+    n, events, seed
+):
+    cp = ControlPlane(n, seed=seed, protocol_config=FAST)
+    cp.start()
+    last_time = 0.0
+    # Apply events in time order, flipping node state (crash <-> recover),
+    # never taking down the whole cluster.
+    for time, idx in sorted(events):
+        cp.run_until(max(time, last_time))
+        last_time = max(time, last_time)
+        name = f"node{idx % n:02d}"
+        node = cp.nodes[name]
+        if node.alive:
+            if len(cp.live_nodes) > 1:
+                cp.crash(name)
+        else:
+            cp.recover(name)
+    cp.run_until(last_time + SETTLE)
+
+    live = cp.live_nodes
+    assert live, "schedule never empties the cluster"
+    # Liveness + safety: every live node agrees on one live delegate.
+    views = {cp.nodes[name].delegate for name in live}
+    assert len(views) == 1, views
+    delegate = views.pop()
+    assert delegate in live
+    # The agreed delegate believes it, too.
+    assert cp.nodes[delegate].is_delegate
+
+
+@given(seed=st.integers(min_value=0, max_value=500))
+@settings(max_examples=15, deadline=None)
+def test_epochs_never_regress_at_any_node(seed):
+    cp = ControlPlane(4, seed=seed, protocol_config=FAST)
+    cp.start()
+    observed: dict[str, int] = {name: 0 for name in cp.nodes}
+    for step in range(8):
+        cp.run_until((step + 1) * 4.0)
+        for name, node in cp.nodes.items():
+            assert node.epoch >= observed[name], name
+            observed[name] = node.epoch
+
+
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    crash_at=st.floats(min_value=3.0, max_value=10.0, allow_nan=False),
+)
+@settings(max_examples=15, deadline=None)
+def test_delegate_crash_always_heals(seed, crash_at):
+    cp = ControlPlane(3, seed=seed, protocol_config=FAST)
+    cp.start()
+    cp.run_until(crash_at)
+    victim = cp.current_delegate()
+    if victim is None:
+        cp.run_until(crash_at + SETTLE)
+        victim = cp.current_delegate()
+    assert victim is not None
+    cp.crash(victim)
+    cp.run_until(cp.engine.now + SETTLE)
+    healed = cp.current_delegate()
+    assert healed is not None and healed != victim

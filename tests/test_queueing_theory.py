@@ -1,0 +1,104 @@
+"""Validation of the simulator core against queueing theory.
+
+The paper's results are queueing phenomena, so the engine must get the
+standard formulas right.  These tests drive a single Facility with Poisson
+arrivals and check the measured mean wait against closed forms:
+
+- M/M/1: W_q = rho / (mu - lambda)
+- M/D/1: W_q = rho / (2 mu (1 - rho))  (half the M/M/1 wait)
+
+plus PASTA-style sanity (utilization == rho) and stability behaviour.
+"""
+
+import numpy as np
+import pytest
+
+from repro.sim import Engine, Facility
+
+
+def run_queue(
+    arrival_rate: float,
+    service_time_fn,
+    n_jobs: int,
+    seed: int = 0,
+) -> tuple[float, float, float]:
+    """Returns (measured mean wait, utilization, duration)."""
+    rng = np.random.default_rng(seed)
+    engine = Engine()
+    fac = Facility(engine, "q")
+    t = 0.0
+    for _ in range(n_jobs):
+        t += rng.exponential(1.0 / arrival_rate)
+        engine.schedule_at(t, fac.request, float(service_time_fn(rng)))
+    engine.run()
+    mon = fac.monitor
+    return mon.mean_wait, mon.utilization(engine.now), engine.now
+
+
+def test_md1_mean_wait_matches_formula():
+    lam, service = 0.7, 1.0  # rho = 0.7
+    measured, _, _ = run_queue(lam, lambda rng: service, n_jobs=60_000)
+    rho = lam * service
+    expected = rho * service / (2 * (1 - rho))
+    assert measured == pytest.approx(expected, rel=0.08)
+
+
+def test_mm1_mean_wait_matches_formula():
+    lam, mean_service = 0.6, 1.0  # rho = 0.6
+    measured, _, _ = run_queue(
+        lam, lambda rng: rng.exponential(mean_service), n_jobs=60_000, seed=1
+    )
+    rho = lam * mean_service
+    expected = rho * mean_service / (1 - rho)
+    assert measured == pytest.approx(expected, rel=0.10)
+
+
+def test_md1_wait_is_half_of_mm1():
+    lam = 0.65
+    det, _, _ = run_queue(lam, lambda rng: 1.0, n_jobs=40_000, seed=2)
+    exp, _, _ = run_queue(
+        lam, lambda rng: rng.exponential(1.0), n_jobs=40_000, seed=3
+    )
+    assert det == pytest.approx(exp / 2, rel=0.15)
+
+
+def test_utilization_equals_rho():
+    lam, service = 0.5, 0.8
+    _, util, _ = run_queue(lam, lambda rng: service, n_jobs=40_000, seed=4)
+    assert util == pytest.approx(lam * service, rel=0.05)
+
+
+def test_low_load_has_negligible_wait():
+    measured, _, _ = run_queue(0.05, lambda rng: 1.0, n_jobs=5_000, seed=5)
+    assert measured < 0.06  # rho=0.05 -> W_q ~ 0.026
+
+
+def test_overloaded_queue_wait_grows_linearly():
+    """rho > 1: backlog (and thus wait of the k-th job) grows without
+    bound — the mechanism behind the static policies' runaway latency."""
+    lam, service = 2.0, 1.0
+    rng = np.random.default_rng(6)
+    engine = Engine()
+    fac = Facility(engine, "q")
+    waits: list[float] = []
+    t = 0.0
+    for i in range(4_000):
+        t += rng.exponential(1.0 / lam)
+
+        def on_done(arrival=t):
+            waits.append(engine.now - arrival)
+
+        engine.schedule_at(t, fac.request, service, on_done)
+    engine.run()
+    early = np.mean(waits[:200])
+    late = np.mean(waits[-200:])
+    assert late > 5 * max(early, 1.0)
+
+
+def test_heterogeneous_speed_scales_wait():
+    """The same workload on a 2x faster server (half the service time)
+    has far lower wait — the paper's server-heterogeneity premise."""
+    slow, _, _ = run_queue(0.8, lambda rng: 1.0, n_jobs=30_000, seed=7)
+    fast, _, _ = run_queue(0.8, lambda rng: 0.5, n_jobs=30_000, seed=7)
+    # rho drops 0.8 -> 0.4: W_q(M/D/1) drops 2.0 -> 0.1667, a 12x factor.
+    assert slow > 8 * fast

@@ -1,0 +1,84 @@
+"""Tests for the shifting (temporal-heterogeneity) workload."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.shifting import ShiftingConfig, generate_shifting, phase_weights
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ShiftingConfig(n_filesets=1)
+    with pytest.raises(ValueError):
+        ShiftingConfig(phase_length=0.0)
+    with pytest.raises(ValueError):
+        ShiftingConfig(phase_length=100.0, duration=50.0)
+    with pytest.raises(ValueError):
+        ShiftingConfig(request_cost=0.0)
+
+
+def test_n_phases():
+    assert ShiftingConfig(duration=5000.0, phase_length=1250.0).n_phases == 4
+    assert ShiftingConfig(duration=5000.0, phase_length=1500.0).n_phases == 4
+
+
+def test_phase_weights_rows_normalized_and_rotated():
+    cfg = ShiftingConfig(n_filesets=50, duration=4000.0, phase_length=1000.0)
+    w = phase_weights(cfg)
+    assert w.shape == (4, 50)
+    np.testing.assert_allclose(w.sum(axis=1), 1.0)
+    # Each row is a rotation of row 0.
+    rotation = cfg.n_filesets // cfg.n_phases
+    np.testing.assert_allclose(w[1], np.roll(w[0], rotation))
+    np.testing.assert_allclose(w[3], np.roll(w[0], 3 * rotation))
+
+
+def test_exact_request_count_and_order():
+    trace = generate_shifting(
+        ShiftingConfig(n_filesets=30, n_requests=5000, duration=1000.0,
+                       phase_length=250.0)
+    )
+    assert len(trace) == 5000
+    assert np.all(np.diff(trace.times) >= 0)
+    assert trace.times.max() < 1000.0
+
+
+def test_hot_set_actually_rotates():
+    cfg = ShiftingConfig(n_filesets=40, n_requests=40_000, duration=2000.0,
+                         phase_length=500.0, seed=9)
+    trace = generate_shifting(cfg)
+    hot_per_phase = []
+    for p in range(4):
+        d = trace.window(p * 500.0, (p + 1) * 500.0).demand_by_fileset()
+        ordered = sorted(d, key=d.get, reverse=True)[:5]
+        hot_per_phase.append(set(ordered))
+    # Consecutive phases have (nearly) disjoint top-5 sets.
+    for a, b in zip(hot_per_phase, hot_per_phase[1:]):
+        assert len(a & b) <= 1, (a, b)
+
+
+def test_aggregate_rate_constant_across_phases():
+    cfg = ShiftingConfig(n_filesets=40, n_requests=40_000, duration=2000.0,
+                         phase_length=500.0)
+    trace = generate_shifting(cfg)
+    counts = [len(trace.window(p * 500.0, (p + 1) * 500.0)) for p in range(4)]
+    assert max(counts) - min(counts) <= 2  # deterministic split +- rounding
+
+
+def test_deterministic_by_seed():
+    cfg = ShiftingConfig(n_filesets=20, n_requests=2000, duration=400.0,
+                         phase_length=100.0, seed=5)
+    a, b = generate_shifting(cfg), generate_shifting(cfg)
+    assert np.array_equal(a.times, b.times)
+    assert np.array_equal(a.fileset_ids, b.fileset_ids)
+
+
+def test_partial_final_phase():
+    cfg = ShiftingConfig(n_filesets=10, n_requests=1000, duration=250.0,
+                         phase_length=100.0)  # phases: 100,100,50
+    trace = generate_shifting(cfg)
+    assert len(trace) == 1000
+    # The short final phase gets proportionally fewer requests.
+    last = len(trace.window(200.0, 250.0))
+    first = len(trace.window(0.0, 100.0))
+    assert last < first

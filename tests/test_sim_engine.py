@@ -1,0 +1,145 @@
+"""Unit tests for the discrete-event engine."""
+
+import pytest
+
+from repro.sim import Engine, SimulationError
+from repro.sim.events import PRIORITY_EARLY, PRIORITY_LATE
+
+
+def test_schedule_and_run_fires_in_time_order():
+    engine = Engine()
+    fired = []
+    engine.schedule(2.0, fired.append, "b")
+    engine.schedule(1.0, fired.append, "a")
+    engine.schedule(3.0, fired.append, "c")
+    engine.run()
+    assert fired == ["a", "b", "c"]
+    assert engine.now == 3.0
+
+
+def test_equal_time_ties_break_by_priority_then_insertion():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, "normal-1")
+    engine.schedule(1.0, fired.append, "late", priority=PRIORITY_LATE)
+    engine.schedule(1.0, fired.append, "early", priority=PRIORITY_EARLY)
+    engine.schedule(1.0, fired.append, "normal-2")
+    engine.run()
+    assert fired == ["early", "normal-1", "normal-2", "late"]
+
+
+def test_clock_advances_to_event_time():
+    engine = Engine()
+    seen = []
+    engine.schedule(5.5, lambda: seen.append(engine.now))
+    engine.run()
+    assert seen == [5.5]
+
+
+def test_run_until_stops_before_later_events():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, "a")
+    engine.schedule(10.0, fired.append, "b")
+    engine.run(until=5.0)
+    assert fired == ["a"]
+    assert engine.now == 5.0  # clock advanced to `until` like YACSIM
+    engine.run()
+    assert fired == ["a", "b"]
+
+
+def test_negative_delay_rejected():
+    engine = Engine()
+    with pytest.raises(SimulationError):
+        engine.schedule(-0.1, lambda: None)
+
+
+def test_schedule_in_past_rejected():
+    engine = Engine()
+    engine.schedule(5.0, lambda: None)
+    engine.run()
+    with pytest.raises(SimulationError):
+        engine.schedule_at(1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    engine = Engine()
+    fired = []
+    handle = engine.schedule(1.0, fired.append, "x")
+    engine.schedule(2.0, fired.append, "y")
+    handle.cancel()
+    engine.run()
+    assert fired == ["y"]
+
+
+def test_events_scheduled_during_run_fire():
+    engine = Engine()
+    fired = []
+
+    def chain(n):
+        fired.append(n)
+        if n < 3:
+            engine.schedule(1.0, chain, n + 1)
+
+    engine.schedule(0.0, chain, 0)
+    engine.run()
+    assert fired == [0, 1, 2, 3]
+    assert engine.now == 3.0
+
+
+def test_max_events_bounds_execution():
+    engine = Engine()
+    count = [0]
+
+    def recur():
+        count[0] += 1
+        engine.schedule(1.0, recur)
+
+    engine.schedule(0.0, recur)
+    engine.run(max_events=10)
+    assert count[0] == 10
+
+
+def test_step_returns_false_when_empty():
+    engine = Engine()
+    assert engine.step() is False
+
+
+def test_events_fired_counter():
+    engine = Engine()
+    for i in range(5):
+        engine.schedule(float(i), lambda: None)
+    engine.run()
+    assert engine.events_fired == 5
+
+
+def test_drain_discards_pending():
+    engine = Engine()
+    fired = []
+    engine.schedule(1.0, fired.append, "x")
+    engine.drain()
+    engine.run()
+    assert fired == []
+
+
+def test_zero_delay_event_fires_at_current_time():
+    engine = Engine()
+    times = []
+    engine.schedule(1.0, lambda: engine.schedule(0.0, lambda: times.append(engine.now)))
+    engine.run()
+    assert times == [1.0]
+
+
+def test_engine_not_reentrant():
+    engine = Engine()
+    errors = []
+
+    def reenter():
+        try:
+            engine.run()
+        except SimulationError as exc:
+            errors.append(exc)
+
+    engine.schedule(1.0, reenter)
+    engine.run()
+    assert len(errors) == 1

@@ -1,0 +1,179 @@
+"""Unit tests for the coroutine process layer."""
+
+import pytest
+
+from repro.sim import Condition, Engine, Facility, Process, SimulationError, all_of
+
+
+def test_hold_consumes_simulated_time():
+    engine = Engine()
+    times = []
+
+    def body(proc):
+        times.append(engine.now)
+        yield proc.hold(2.0)
+        times.append(engine.now)
+        yield proc.hold(3.0)
+        times.append(engine.now)
+
+    Process(engine, body).start()
+    engine.run()
+    assert times == [0.0, 2.0, 5.0]
+
+
+def test_start_delay():
+    engine = Engine()
+    times = []
+
+    def body(proc):
+        times.append(engine.now)
+        yield proc.hold(1.0)
+
+    Process(engine, body).start(delay=4.0)
+    engine.run()
+    assert times == [4.0]
+
+
+def test_waitfor_blocks_until_signal():
+    engine = Engine()
+    cond = Condition("go")
+    times = []
+
+    def waiter(proc):
+        yield proc.waitfor(cond)
+        times.append(engine.now)
+
+    def signaller(proc):
+        yield proc.hold(7.0)
+        cond.signal()
+
+    Process(engine, waiter).start()
+    Process(engine, signaller).start()
+    engine.run()
+    assert times == [7.0]
+
+
+def test_waitfor_already_fired_condition_resumes_immediately():
+    engine = Engine()
+    cond = Condition()
+    cond.signal()
+    times = []
+
+    def body(proc):
+        yield proc.hold(1.0)
+        yield proc.waitfor(cond)
+        times.append(engine.now)
+
+    Process(engine, body).start()
+    engine.run()
+    assert times == [1.0]
+
+
+def test_request_queues_at_facility():
+    engine = Engine()
+    fac = Facility(engine, "cpu")
+    times = []
+
+    def body(name):
+        def _body(proc):
+            yield proc.request(fac, 2.0)
+            times.append((name, engine.now))
+
+        return _body
+
+    Process(engine, body("a")).start()
+    Process(engine, body("b")).start()
+    engine.run()
+    assert times == [("a", 2.0), ("b", 4.0)]
+
+
+def test_terminated_condition_fires():
+    engine = Engine()
+    log = []
+
+    def worker(proc):
+        yield proc.hold(3.0)
+
+    def watcher(proc):
+        yield proc.waitfor(w.terminated)
+        log.append(engine.now)
+
+    w = Process(engine, worker).start()
+    Process(engine, watcher).start()
+    engine.run()
+    assert log == [3.0]
+    assert w.done
+
+
+def test_all_of_waits_for_every_process():
+    engine = Engine()
+    log = []
+
+    def make(d):
+        def body(proc):
+            yield proc.hold(d)
+
+        return body
+
+    procs = [Process(engine, make(d)).start() for d in (1.0, 5.0, 3.0)]
+    done = all_of(engine, procs)
+
+    def watcher(proc):
+        yield proc.waitfor(done)
+        log.append(engine.now)
+
+    Process(engine, watcher).start()
+    engine.run()
+    assert log == [5.0]
+
+
+def test_all_of_empty_fires_immediately():
+    engine = Engine()
+    done = all_of(engine, [])
+    log = []
+
+    def watcher(proc):
+        yield proc.waitfor(done)
+        log.append(engine.now)
+
+    Process(engine, watcher).start()
+    engine.run()
+    assert log == [0.0]
+
+
+def test_double_start_rejected():
+    engine = Engine()
+
+    def body(proc):
+        yield proc.hold(1.0)
+
+    proc = Process(engine, body).start()
+    with pytest.raises(SimulationError):
+        proc.start()
+
+
+def test_negative_hold_rejected():
+    engine = Engine()
+    errors = []
+
+    def body(proc):
+        try:
+            proc.hold(-1.0)
+        except SimulationError as exc:
+            errors.append(exc)
+        yield proc.hold(0.0)
+
+    Process(engine, body).start()
+    engine.run()
+    assert len(errors) == 1
+
+
+def test_yielding_non_command_raises():
+    engine = Engine()
+
+    def body(proc):
+        yield "not a command"
+
+    Process(engine, body).start()
+    with pytest.raises(SimulationError):
+        engine.run()

@@ -1,0 +1,132 @@
+"""Unit tests for FIFO facilities and their monitors."""
+
+import pytest
+
+from repro.sim import Engine, Facility, SimulationError
+
+
+def make() -> tuple[Engine, Facility]:
+    engine = Engine()
+    return engine, Facility(engine, "f")
+
+
+def test_single_job_completes_after_service_time():
+    engine, fac = make()
+    done = []
+    fac.request(2.5, lambda: done.append(engine.now))
+    engine.run()
+    assert done == [2.5]
+
+
+def test_fifo_order_and_queueing_delay():
+    engine, fac = make()
+    done = []
+    fac.request(2.0, lambda: done.append(("a", engine.now)))
+    fac.request(1.0, lambda: done.append(("b", engine.now)))
+    engine.run()
+    # b waits for a: completes at 2 + 1.
+    assert done == [("a", 2.0), ("b", 3.0)]
+
+
+def test_arrivals_while_busy_queue_up():
+    engine, fac = make()
+    done = []
+    engine.schedule(0.0, fac.request, 3.0, lambda: done.append(engine.now))
+    engine.schedule(1.0, fac.request, 3.0, lambda: done.append(engine.now))
+    engine.run()
+    assert done == [3.0, 6.0]
+
+
+def test_monitor_wait_and_sojourn():
+    engine, fac = make()
+    fac.request(2.0)
+    fac.request(2.0)
+    engine.run()
+    mon = fac.monitor
+    assert mon.jobs_completed == 2
+    assert mon.total_wait == pytest.approx(2.0)  # second job waited 2s
+    assert mon.total_sojourn == pytest.approx(2.0 + 4.0)
+    assert mon.mean_wait == pytest.approx(1.0)
+    assert mon.mean_sojourn == pytest.approx(3.0)
+
+
+def test_monitor_utilization():
+    engine, fac = make()
+    fac.request(4.0)
+    engine.schedule(8.0, lambda: None)  # extend the run to t=8
+    engine.run()
+    assert fac.monitor.utilization(engine.now) == pytest.approx(0.5)
+
+
+def test_negative_service_time_rejected():
+    _, fac = make()
+    with pytest.raises(SimulationError):
+        fac.request(-1.0)
+
+
+def test_zero_service_time_allowed():
+    engine, fac = make()
+    done = []
+    fac.request(0.0, lambda: done.append(engine.now))
+    engine.run()
+    assert done == [0.0]
+
+
+def test_pause_defers_new_jobs_until_resume():
+    engine, fac = make()
+    done = []
+    fac.pause()
+    fac.request(1.0, lambda: done.append(engine.now))
+    engine.schedule(5.0, fac.resume_service)
+    engine.run()
+    assert done == [6.0]
+
+
+def test_fail_evicts_in_service_and_queued():
+    engine, fac = make()
+    done = []
+    fac.request(10.0, lambda: done.append("a"))
+    fac.request(10.0, lambda: done.append("b"))
+    engine.schedule(1.0, lambda: evicted.append(fac.fail()))
+    evicted = []
+    engine.run()
+    assert done == []  # no completion callbacks for evicted jobs
+    assert evicted == [2]
+    assert fac.monitor.jobs_completed == 0
+
+
+def test_fail_then_resume_serves_new_work():
+    engine, fac = make()
+    done = []
+    fac.request(10.0, lambda: done.append("old"))
+    engine.schedule(1.0, fac.fail)
+    engine.schedule(2.0, fac.resume_service)
+    engine.schedule(3.0, fac.request, 1.0, lambda: done.append(engine.now))
+    engine.run()
+    assert done == [4.0]
+
+
+def test_little_law_on_md1_queue():
+    """Time-average number in system ~ arrival rate x mean sojourn."""
+    engine, fac = make()
+    service = 0.5
+    n = 200
+    for i in range(n):
+        engine.schedule_at(float(i), fac.request, service)
+    engine.run()
+    duration = engine.now
+    mon = fac.monitor
+    arrival_rate = n / duration
+    lhs = mon.mean_queue_length(duration)
+    rhs = arrival_rate * mon.mean_sojourn
+    assert lhs == pytest.approx(rhs, rel=0.05)
+
+
+def test_queue_length_property():
+    engine, fac = make()
+    fac.request(5.0)
+    fac.request(5.0)
+    fac.request(5.0)
+    assert fac.queue_length == 3
+    engine.run(until=6.0)
+    assert fac.queue_length == 2

@@ -1,0 +1,82 @@
+"""Unit tests for deterministic named random streams."""
+
+import numpy as np
+import pytest
+
+from repro.sim import StreamFactory, exponential, uniform
+
+
+def test_same_seed_same_name_same_stream():
+    a = StreamFactory(42).stream("arrivals").random(10)
+    b = StreamFactory(42).stream("arrivals").random(10)
+    assert np.array_equal(a, b)
+
+
+def test_different_names_are_independent():
+    a = StreamFactory(42).stream("arrivals").random(10)
+    b = StreamFactory(42).stream("mover").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_different_seeds_differ():
+    a = StreamFactory(1).stream("x").random(10)
+    b = StreamFactory(2).stream("x").random(10)
+    assert not np.array_equal(a, b)
+
+
+def test_stream_order_independent():
+    """Creating streams in a different order must not change their draws."""
+    f1 = StreamFactory(7)
+    first = f1.stream("a").random(5)
+    _ = f1.stream("b").random(5)
+
+    f2 = StreamFactory(7)
+    _ = f2.stream("b").random(5)
+    second = f2.stream("a").random(5)
+    assert np.array_equal(first, second)
+
+
+def test_spawn_namespaces_children():
+    root = StreamFactory(9)
+    child1 = root.spawn("cluster")
+    child2 = root.spawn("workload")
+    a = child1.stream("x").random(5)
+    b = child2.stream("x").random(5)
+    root_x = root.stream("x").random(5)
+    assert not np.array_equal(a, b)
+    assert not np.array_equal(a, root_x)
+
+
+def test_spawn_deterministic():
+    a = StreamFactory(9).spawn("c").stream("x").random(5)
+    b = StreamFactory(9).spawn("c").stream("x").random(5)
+    assert np.array_equal(a, b)
+
+
+def test_invalid_seed_rejected():
+    with pytest.raises(ValueError):
+        StreamFactory(-1)
+    with pytest.raises(ValueError):
+        StreamFactory("seed")  # type: ignore[arg-type]
+
+
+def test_exponential_helper():
+    rng = StreamFactory(3).stream("e")
+    draws = [exponential(rng, 2.0) for _ in range(2000)]
+    assert all(d >= 0 for d in draws)
+    assert np.mean(draws) == pytest.approx(2.0, rel=0.1)
+    with pytest.raises(ValueError):
+        exponential(rng, 0.0)
+
+
+def test_uniform_helper():
+    rng = StreamFactory(3).stream("u")
+    draws = [uniform(rng, 5.0, 10.0) for _ in range(1000)]
+    assert all(5.0 <= d < 10.0 for d in draws)
+    with pytest.raises(ValueError):
+        uniform(rng, 10.0, 5.0)
+
+
+def test_uniform_degenerate_interval():
+    rng = StreamFactory(3).stream("u")
+    assert uniform(rng, 4.0, 4.0) == 4.0

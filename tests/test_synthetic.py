@@ -1,0 +1,132 @@
+"""Tests for the paper's synthetic workload generator (§7)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.synthetic import (
+    SyntheticConfig,
+    fileset_weights,
+    generate_synthetic,
+    tune_scale_below_peak,
+)
+
+
+def test_default_matches_paper_parameters():
+    cfg = SyntheticConfig()
+    assert cfg.n_filesets == 500
+    assert cfg.n_requests == 100_000
+    assert cfg.duration == 10_000.0
+
+
+def test_exact_request_count_and_duration():
+    trace = generate_synthetic(SyntheticConfig(n_filesets=50, n_requests=5000,
+                                               duration=100.0))
+    assert len(trace) == 5000
+    assert trace.duration == 100.0
+    assert trace.times.max() < 100.0
+    assert trace.times.min() >= 0.0
+
+
+def test_times_sorted():
+    trace = generate_synthetic(SyntheticConfig(n_filesets=20, n_requests=2000,
+                                               duration=50.0))
+    assert np.all(np.diff(trace.times) >= 0)
+
+
+def test_weights_normalized_and_heterogeneous():
+    cfg = SyntheticConfig(n_filesets=500, alpha=4.0)
+    w = fileset_weights(cfg)
+    assert w.sum() == pytest.approx(1.0)
+    assert w.max() / w.min() > 50  # strong skew from x**alpha
+
+
+def test_alpha_zero_is_uniform():
+    cfg = SyntheticConfig(n_filesets=100, alpha=0.0)
+    w = fileset_weights(cfg)
+    assert np.allclose(w, 1.0 / 100)
+
+
+def test_workload_stable_over_time():
+    """Per-file-set request distribution is the same in both halves."""
+    cfg = SyntheticConfig(n_filesets=20, n_requests=40_000, duration=1000.0,
+                          alpha=2.0, seed=5)
+    trace = generate_synthetic(cfg)
+    first = trace.window(0.0, 500.0).demand_by_fileset()
+    second = trace.window(500.0, 1000.0).demand_by_fileset()
+    tot1, tot2 = sum(first.values()), sum(second.values())
+    for name in trace.fileset_names:
+        p1, p2 = first[name] / tot1, second[name] / tot2
+        assert p1 == pytest.approx(p2, abs=0.02)
+
+
+def test_poisson_interarrivals_per_fileset():
+    """Within a file set, inter-arrival CV ~ 1 (exponential)."""
+    cfg = SyntheticConfig(n_filesets=1, n_requests=20_000, duration=1000.0,
+                          x_min=1.0)
+    trace = generate_synthetic(cfg)
+    gaps = np.diff(trace.times)
+    cv = gaps.std() / gaps.mean()
+    assert cv == pytest.approx(1.0, abs=0.05)
+
+
+def test_deterministic_by_seed():
+    a = generate_synthetic(SyntheticConfig(n_filesets=30, n_requests=1000,
+                                           duration=10.0, seed=9))
+    b = generate_synthetic(SyntheticConfig(n_filesets=30, n_requests=1000,
+                                           duration=10.0, seed=9))
+    assert np.array_equal(a.times, b.times)
+    assert np.array_equal(a.fileset_ids, b.fileset_ids)
+
+
+def test_different_seed_differs():
+    a = generate_synthetic(SyntheticConfig(n_filesets=30, n_requests=1000,
+                                           duration=10.0, seed=1))
+    b = generate_synthetic(SyntheticConfig(n_filesets=30, n_requests=1000,
+                                           duration=10.0, seed=2))
+    assert not np.array_equal(a.times, b.times)
+
+
+def test_stochastic_cost_mode():
+    cfg = SyntheticConfig(n_filesets=10, n_requests=5000, duration=100.0,
+                          stochastic_cost=True, request_cost=0.2)
+    trace = generate_synthetic(cfg)
+    assert trace.costs.std() > 0
+    assert trace.costs.mean() == pytest.approx(0.2, rel=0.1)
+
+
+def test_deterministic_cost_mode():
+    cfg = SyntheticConfig(n_filesets=10, n_requests=100, duration=100.0,
+                          request_cost=0.25)
+    trace = generate_synthetic(cfg)
+    assert np.all(trace.costs == 0.25)
+
+
+def test_tune_scale_below_peak():
+    cfg = SyntheticConfig(n_filesets=10, n_requests=10_000, duration=1000.0)
+    speeds = {"a": 1.0, "b": 3.0}
+    tuned = tune_scale_below_peak(cfg, speeds, target_utilization=0.5)
+    trace = generate_synthetic(tuned)
+    assert trace.offered_load(sum(speeds.values())) == pytest.approx(0.5, rel=0.01)
+
+
+def test_tune_scale_validation():
+    cfg = SyntheticConfig()
+    with pytest.raises(ValueError):
+        tune_scale_below_peak(cfg, {"a": 1.0}, target_utilization=1.5)
+    with pytest.raises(ValueError):
+        tune_scale_below_peak(cfg, {}, target_utilization=0.5)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        SyntheticConfig(n_filesets=0)
+    with pytest.raises(ValueError):
+        SyntheticConfig(x_min=0.0)
+    with pytest.raises(ValueError):
+        SyntheticConfig(duration=0.0)
+
+
+def test_zero_requests_allowed():
+    trace = generate_synthetic(SyntheticConfig(n_filesets=5, n_requests=0,
+                                               duration=10.0))
+    assert len(trace) == 0

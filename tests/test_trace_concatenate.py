@@ -1,0 +1,68 @@
+"""Tests for Trace.concatenate (piecewise workload construction)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import SyntheticConfig, Trace, generate_synthetic
+
+
+def seg(n_requests: int, duration: float, seed: int, n_filesets: int = 10) -> Trace:
+    return generate_synthetic(SyntheticConfig(
+        n_filesets=n_filesets, n_requests=n_requests, duration=duration,
+        seed=seed,
+    ))
+
+
+def test_concatenate_durations_and_counts():
+    a, b = seg(100, 50.0, 1), seg(200, 30.0, 2)
+    cat = Trace.concatenate([a, b])
+    assert len(cat) == 300
+    assert cat.duration == 80.0
+
+
+def test_concatenate_shifts_times():
+    a, b = seg(100, 50.0, 1), seg(100, 50.0, 2)
+    cat = Trace.concatenate([a, b])
+    assert np.all(np.diff(cat.times) >= 0)
+    assert cat.times[100] >= 50.0
+    np.testing.assert_allclose(cat.times[:100], a.times)
+    np.testing.assert_allclose(cat.times[100:], b.times + 50.0)
+
+
+def test_concatenate_unions_fileset_universe():
+    a = Trace(np.array([1.0]), np.array([0]), np.array([0.1]), ["x"], duration=2.0)
+    b = Trace(np.array([0.5]), np.array([0]), np.array([0.2]), ["y"], duration=1.0)
+    cat = Trace.concatenate([a, b])
+    assert cat.fileset_names == ["x", "y"]
+    assert cat.counts_by_fileset() == {"x": 1, "y": 1}
+    # The 'y' request carries its cost and its shifted time.
+    assert cat.times[1] == pytest.approx(2.5)
+    assert cat.costs[1] == pytest.approx(0.2)
+
+
+def test_concatenate_remaps_shared_names():
+    a, b = seg(500, 20.0, 3), seg(500, 20.0, 4)
+    cat = Trace.concatenate([a, b])
+    counts_a = a.counts_by_fileset()
+    counts_b = b.counts_by_fileset()
+    merged = cat.counts_by_fileset()
+    for name in merged:
+        assert merged[name] == counts_a.get(name, 0) + counts_b.get(name, 0)
+
+
+def test_concatenate_single_and_empty():
+    a = seg(100, 10.0, 5)
+    cat = Trace.concatenate([a])
+    assert len(cat) == 100
+    with pytest.raises(ValueError):
+        Trace.concatenate([])
+
+
+def test_concatenate_with_empty_segment():
+    a = seg(100, 10.0, 6)
+    empty = Trace(np.empty(0), np.empty(0, dtype=int), np.empty(0),
+                  a.fileset_names, duration=5.0)
+    cat = Trace.concatenate([empty, a])
+    assert len(cat) == 100
+    assert cat.duration == 15.0
+    assert cat.times.min() >= 5.0

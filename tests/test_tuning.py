@@ -1,0 +1,192 @@
+"""Unit tests for the delegate tuner and the over-tuning heuristics."""
+
+import pytest
+
+from repro.core.tuning import (
+    AGGRESSIVE,
+    ALL_HEURISTICS,
+    DIVERGENT_ONLY,
+    THRESHOLD_ONLY,
+    TOP_OFF_ONLY,
+    DelegateTuner,
+    ServerReport,
+    TuningConfig,
+    system_average,
+)
+
+
+def reports(latencies: dict[str, float], count: int = 100) -> list[ServerReport]:
+    return [ServerReport(k, v, count if v > 0 else 0) for k, v in latencies.items()]
+
+
+EQUAL = {"a": 1.0, "b": 1.0, "c": 1.0}
+
+
+def test_server_report_validation():
+    with pytest.raises(ValueError):
+        ServerReport("a", -1.0, 10)
+    with pytest.raises(ValueError):
+        ServerReport("a", 1.0, -1)
+
+
+def test_system_average_weighted_mean():
+    rs = [ServerReport("a", 0.1, 300), ServerReport("b", 0.5, 100)]
+    assert system_average(rs) == pytest.approx((0.1 * 300 + 0.5 * 100) / 400)
+
+
+def test_system_average_median_and_mean():
+    rs = [
+        ServerReport("a", 0.1, 1),
+        ServerReport("b", 0.2, 1),
+        ServerReport("c", 10.0, 1),
+    ]
+    assert system_average(rs, "median") == pytest.approx(0.2)
+    assert system_average(rs, "mean") == pytest.approx(10.3 / 3)
+
+
+def test_system_average_ignores_idle_servers():
+    rs = [ServerReport("a", 0.5, 10), ServerReport("b", 0.0, 0)]
+    assert system_average(rs) == pytest.approx(0.5)
+
+
+def test_system_average_all_idle_is_zero():
+    rs = [ServerReport("a", 0.0, 0)]
+    assert system_average(rs) == 0.0
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        TuningConfig(threshold=-0.1)
+    with pytest.raises(ValueError):
+        TuningConfig(max_step=1.0)
+    with pytest.raises(ValueError):
+        TuningConfig(average="mode")
+
+
+def test_mismatched_reports_rejected():
+    tuner = DelegateTuner(AGGRESSIVE)
+    with pytest.raises(ValueError):
+        tuner.compute(EQUAL, reports({"a": 1.0, "b": 1.0}))
+
+
+def test_aggressive_shrinks_hot_and_grows_cold():
+    tuner = DelegateTuner(AGGRESSIVE)
+    decision = tuner.compute(EQUAL, reports({"a": 0.9, "b": 0.1, "c": 0.1}))
+    assert decision.new_shares["a"] < EQUAL["a"]
+    assert decision.new_shares["b"] > EQUAL["b"]
+    assert "a" in decision.tuned and "b" in decision.tuned
+
+
+def test_no_tuning_when_no_load():
+    tuner = DelegateTuner(AGGRESSIVE)
+    decision = tuner.compute(EQUAL, reports({"a": 0.0, "b": 0.0, "c": 0.0}, count=0))
+    assert decision.tuned == {}
+    assert decision.new_shares == EQUAL
+
+
+def test_factor_clamped_by_max_step():
+    tuner = DelegateTuner(TuningConfig(
+        use_thresholding=False, use_top_off=False, use_divergent=False,
+        max_step=4.0, average="median",
+    ))
+    # Leave-one-out medians: ref(a)=0.505, ref(c)=50.5 — raw factors far
+    # beyond the clamp in both directions.
+    decision = tuner.compute(EQUAL, reports({"a": 100.0, "b": 1.0, "c": 0.01}))
+    assert decision.tuned["a"] == pytest.approx(0.25)
+    assert decision.tuned["c"] == pytest.approx(4.0)
+    # b is far below its own reference (median of 100 and 0.01), so with
+    # thresholding off it grows, clamped as well.
+    assert decision.tuned["b"] == pytest.approx(4.0)
+
+
+def test_thresholding_leaves_in_band_servers_alone():
+    tuner = DelegateTuner(THRESHOLD_ONLY)  # t = 0.5
+    # Each server sits inside [ref*(1-t), ref*(1+t)] of its leave-one-out
+    # reference: ref(a)=0.85, ref(b)=1.05, ref(c)=1.0.
+    decision = tuner.compute(EQUAL, reports({"a": 1.2, "b": 0.8, "c": 0.9}))
+    assert decision.tuned == {}
+
+
+def test_thresholding_tunes_out_of_band_servers():
+    tuner = DelegateTuner(TuningConfig(
+        use_thresholding=True, use_top_off=False, use_divergent=False,
+        threshold=0.4,
+    ))
+    decision = tuner.compute(
+        EQUAL, reports({"a": 5.0, "b": 1.0, "c": 1.0})
+    )
+    # Average (weighted) = 7/3 ~ 2.33; band [1.4, 3.27]: a above, b/c below.
+    assert decision.new_shares["a"] < 1.0
+    assert decision.new_shares["b"] > 1.0
+
+
+def test_top_off_never_explicitly_grows():
+    tuner = DelegateTuner(TOP_OFF_ONLY)
+    decision = tuner.compute(EQUAL, reports({"a": 10.0, "b": 0.01, "c": 0.01}))
+    assert decision.tuned.keys() == {"a"}
+    assert decision.new_shares["a"] < 1.0
+    assert decision.new_shares["b"] == 1.0  # grows only via renormalization
+
+
+def test_divergent_requires_motion_away_from_average():
+    tuner = DelegateTuner(DIVERGENT_ONLY)
+    current = reports({"a": 2.0, "b": 0.5, "c": 1.0})
+    prev_converging = reports({"a": 3.0, "b": 0.4, "c": 1.0})
+    # a fell from 3->2 (converging down), b rose 0.4->0.5 (converging up):
+    # neither is diverging, so nothing is tuned.
+    decision = tuner.compute(EQUAL, current, prev_converging)
+    assert decision.tuned == {}
+
+    prev_diverging = reports({"a": 1.5, "b": 0.8, "c": 1.0})
+    # a rose 1.5->2 while above average, b fell 0.8->0.5 while below.
+    decision = tuner.compute(EQUAL, current, prev_diverging)
+    assert set(decision.tuned) == {"a", "b"}
+
+
+def test_divergent_skipped_without_previous_reports():
+    """Delegate fail-over: stateless degradation tunes without the gate."""
+    tuner = DelegateTuner(DIVERGENT_ONLY)
+    decision = tuner.compute(EQUAL, reports({"a": 2.0, "b": 0.5, "c": 1.0}), None)
+    assert decision.tuned  # gate skipped -> tuning proceeds
+
+
+def test_idle_server_gets_grow_seed():
+    cfg = TuningConfig(
+        use_thresholding=False, use_top_off=False, use_divergent=False,
+        grow_seed_fraction=0.05,
+    )
+    tuner = DelegateTuner(cfg)
+    shares = {"a": 1.0, "b": 0.0}
+    decision = tuner.compute(
+        shares, [ServerReport("a", 1.0, 100), ServerReport("b", 0.0, 0)]
+    )
+    # b is idle (latency 0 < avg) and holds nothing; the seed lets it grow.
+    assert decision.new_shares["b"] > 0.0
+
+
+def test_all_heuristics_stable_on_balanced_system():
+    tuner = DelegateTuner(ALL_HEURISTICS)
+    decision = tuner.compute(EQUAL, reports({"a": 1.0, "b": 1.05, "c": 0.95}))
+    assert decision.tuned == {}
+
+
+def test_decision_preserves_relative_share_of_untuned():
+    tuner = DelegateTuner(TOP_OFF_ONLY)
+    shares = {"a": 2.0, "b": 1.0, "c": 1.0}
+    decision = tuner.compute(shares, reports({"a": 10.0, "b": 0.1, "c": 0.1}))
+    assert decision.new_shares["b"] == shares["b"]
+    assert decision.new_shares["c"] == shares["c"]
+
+
+def test_median_average_robust_to_outlier():
+    cfg = TuningConfig(
+        use_thresholding=True, threshold=0.5, use_top_off=False,
+        use_divergent=False, average="median",
+    )
+    tuner = DelegateTuner(cfg)
+    decision = tuner.compute(
+        {"a": 1.0, "b": 1.0, "c": 1.0, "d": 1.0, "e": 1.0},
+        reports({"a": 100.0, "b": 1.0, "c": 1.1, "d": 0.9, "e": 1.0}),
+    )
+    # Median ~1.0: only the outlier is tuned.
+    assert set(decision.tuned) == {"a"}

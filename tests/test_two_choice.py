@@ -1,0 +1,99 @@
+"""Tests for the two-choices placement baseline."""
+
+import collections
+
+import pytest
+
+from repro.placement import TwoChoicePolicy
+from repro.placement.base import validate_assignment
+from repro.theory import normalized_max_load
+
+SERVERS = [f"s{i}" for i in range(8)]
+FILESETS = [f"fs{i:04d}" for i in range(800)]
+
+
+def test_deterministic():
+    pol = TwoChoicePolicy()
+    assert pol.initial_assignment(FILESETS, SERVERS) == pol.initial_assignment(
+        FILESETS, SERVERS
+    )
+
+
+def test_complete_and_live():
+    pol = TwoChoicePolicy()
+    a = pol.initial_assignment(FILESETS, SERVERS)
+    validate_assignment(a, FILESETS, SERVERS)
+
+
+def test_better_balanced_than_single_choice():
+    """The two-choices max load beats simple randomization's."""
+    from repro.placement import SimpleRandomPolicy
+
+    two = TwoChoicePolicy().initial_assignment(FILESETS, SERVERS)
+    one = SimpleRandomPolicy().initial_assignment(FILESETS, SERVERS)
+
+    def max_norm(assignment):
+        counts = collections.Counter(assignment.values())
+        return normalized_max_load([counts.get(s, 0) for s in SERVERS])
+
+    assert max_norm(two) < max_norm(one)
+    assert max_norm(two) < 1.1  # very tight at m/n = 100
+
+
+def test_weights_shift_counts_toward_fast_servers():
+    pol = TwoChoicePolicy()
+    pol.grant_weights({s: (9.0 if s == "s0" else 1.0) for s in SERVERS})
+    a = pol.initial_assignment(FILESETS, SERVERS)
+    counts = collections.Counter(a.values())
+    assert counts["s0"] > 2 * max(counts[s] for s in SERVERS if s != "s0") * 0.9
+
+
+def test_invalid_weights_rejected():
+    pol = TwoChoicePolicy()
+    with pytest.raises(ValueError):
+        pol.grant_weights({"s0": 0.0})
+
+
+def test_no_servers_rejected():
+    with pytest.raises(ValueError):
+        TwoChoicePolicy().initial_assignment(FILESETS, [])
+
+
+def test_membership_change_moves_only_orphans():
+    pol = TwoChoicePolicy()
+    a = pol.initial_assignment(FILESETS, SERVERS)
+    survivors = [s for s in SERVERS if s != "s3"]
+    b = pol.on_membership_change(FILESETS, survivors, a)
+    validate_assignment(b, FILESETS, survivors)
+    for name in FILESETS:
+        if a[name] != "s3":
+            assert b[name] == a[name]
+
+
+def test_static_update():
+    pol = TwoChoicePolicy()
+    a = pol.initial_assignment(FILESETS, SERVERS)
+    from repro.placement.base import TuningContext
+    from repro.core.tuning import ServerReport
+
+    ctx = TuningContext(
+        time=1.0, filesets=FILESETS, servers=SERVERS, assignment=a,
+        reports=[ServerReport(s, 0.1, 10) for s in SERVERS],
+    )
+    assert pol.update(ctx) is None
+
+
+def test_runner_integration():
+    from repro.experiments.runner import run_policy
+    from repro.cluster import ClusterConfig, paper_servers
+    from repro.workloads import SyntheticConfig, generate_synthetic
+
+    trace = generate_synthetic(
+        SyntheticConfig(n_filesets=40, n_requests=2000, duration=500.0)
+    )
+    cfg = ClusterConfig(servers=paper_servers(), seed=0)
+    plain = run_policy("two-choice", trace, cfg)
+    weighted = run_policy("two-choice-weighted", trace, cfg)
+    assert plain.total_requests == weighted.total_requests == 2000
+    # The weighted variant loads fast servers more at placement time.
+    assert weighted.completed["server4"] >= plain.completed["server4"]

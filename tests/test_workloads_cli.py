@@ -1,0 +1,72 @@
+"""Tests for the workload CLI."""
+
+import pytest
+
+from repro.workloads import Trace
+from repro.workloads.cli import describe, main
+
+
+def test_gen_synthetic(tmp_path, capsys):
+    out = tmp_path / "t.npz"
+    assert main(["gen", "--kind", "synthetic", "--out", str(out),
+                 "--filesets", "20", "--requests", "500",
+                 "--duration", "100", "--seed", "3"]) == 0
+    trace = Trace.load(out)
+    assert len(trace) == 500
+    assert trace.n_filesets == 20
+    assert trace.duration == 100.0
+    assert "requests:  500" in capsys.readouterr().out
+
+
+def test_gen_dfstrace_and_shifting(tmp_path):
+    for kind in ("dfstrace", "shifting"):
+        out = tmp_path / f"{kind}.npz"
+        assert main(["gen", "--kind", kind, "--out", str(out),
+                     "--requests", "1000"]) == 0
+        assert len(Trace.load(out)) == 1000
+
+
+def test_describe_command(tmp_path, capsys):
+    out = tmp_path / "t.npz"
+    main(["gen", "--kind", "synthetic", "--out", str(out),
+          "--filesets", "10", "--requests", "300", "--duration", "60"])
+    capsys.readouterr()
+    assert main(["describe", str(out)]) == 0
+    text = capsys.readouterr().out
+    assert "file sets: 10" in text
+    assert "hottest file sets" in text
+
+
+def test_slice_command(tmp_path, capsys):
+    src = tmp_path / "t.npz"
+    dst = tmp_path / "cut.npz"
+    main(["gen", "--kind", "synthetic", "--out", str(src),
+          "--filesets", "10", "--requests", "1000", "--duration", "100"])
+    assert main(["slice", str(src), "--start", "20", "--end", "40",
+                 "--out", str(dst)]) == 0
+    cut = Trace.load(dst)
+    assert cut.duration == 20.0
+    assert all(20.0 <= t < 40.0 for t in cut.times)
+
+
+def test_slice_rejects_empty_window(tmp_path):
+    src = tmp_path / "t.npz"
+    main(["gen", "--kind", "synthetic", "--out", str(src),
+          "--requests", "100", "--duration", "10"])
+    with pytest.raises(SystemExit):
+        main(["slice", str(src), "--start", "5", "--end", "5",
+              "--out", str(tmp_path / "x.npz")])
+
+
+def test_describe_function_empty_trace():
+    import numpy as np
+
+    t = Trace(np.empty(0), np.empty(0, dtype=int), np.empty(0), ["a"],
+              duration=1.0)
+    text = describe(t)
+    assert "requests:  0" in text
+
+
+def test_unknown_command_rejected():
+    with pytest.raises(SystemExit):
+        main(["frobnicate"])
