@@ -11,6 +11,11 @@ from __future__ import annotations
 
 import os
 
+# Benchmarks measure the production hot path: compile the runtime contract
+# layer out (see repro.contracts) unless the caller explicitly overrides.
+# This must run before any ``repro`` import, which is why it lives here.
+os.environ.setdefault("REPRO_CONTRACTS", "off")
+
 import pytest
 
 

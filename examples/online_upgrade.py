@@ -39,7 +39,7 @@ def main() -> None:
     print(series_block("[anu across the upgrade]", result.series))
     print()
     new_counts = result.series.counts["server5"]
-    before = new_counts[: int(1_000 / result.series.window)].sum()
+    before = new_counts[: int(1_000 // result.series.window)].sum()
     after = new_counts[-5:].sum()
     print(f"server5 requests before commissioning: {before:.0f} (sanity: 0)")
     print(f"server5 requests in the last 5 minutes: {after:.0f} — the newcomer")

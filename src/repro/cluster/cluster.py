@@ -28,6 +28,7 @@ from typing import Iterator, Mapping
 
 import numpy as np
 
+from ..contracts import checks_invariants
 from ..core.movement import MovementLedger, diff_assignment
 from ..core.tuning import ServerReport
 from ..metrics.latency import LatencyCollector, LatencySeries
@@ -180,6 +181,38 @@ class ClusterSimulation:
             for name, st in self.filesets.items()
         }
 
+    def check_invariants(self) -> None:
+        """Assert ownership uniqueness and referential integrity.
+
+        Every file set in the trace has exactly one state entry; its owner
+        (and in-flight move target, if any) name a registered server.  A
+        dead owner is legal — requests buffer until the recovery move — but
+        an owner that was never commissioned is a routing bug.
+        """
+        if set(self.filesets) != set(self.trace.fileset_names):
+            raise ValueError(
+                "file-set states do not match the trace universe: "
+                f"{sorted(set(self.filesets) ^ set(self.trace.fileset_names))}"
+            )
+        for name, state in self.filesets.items():
+            if state.name != name:
+                raise ValueError(f"state for {name!r} claims name {state.name!r}")
+            if state.owner not in self.servers:
+                raise ValueError(
+                    f"{name!r} owned by unregistered server {state.owner!r}"
+                )
+            if state.moving:
+                if state.move_target not in self.servers:
+                    raise ValueError(
+                        f"{name!r} moving to unregistered server "
+                        f"{state.move_target!r}"
+                    )
+            elif state.move_target is not None:
+                raise ValueError(
+                    f"{name!r} is settled but records move target "
+                    f"{state.move_target!r}"
+                )
+
     # ------------------------------------------------------------------
     # Run
     # ------------------------------------------------------------------
@@ -274,6 +307,7 @@ class ClusterSimulation:
         if now + interval <= self.trace.duration:
             self.engine.schedule(interval, self._on_tuning, priority=PRIORITY_LATE)
 
+    @checks_invariants
     def _realize(
         self, old: Mapping[str, str], new: Mapping[str, str]
     ) -> None:
@@ -340,6 +374,7 @@ class ClusterSimulation:
             return
         raise AssertionError(f"unhandled fault kind {kind!r}")  # pragma: no cover
 
+    @checks_invariants
     def _membership_changed(self) -> None:
         live = self.live_servers
         old = self.planned_assignment()

@@ -1,0 +1,193 @@
+"""Runtime invariant contracts for the paper's stated properties.
+
+The paper makes exact structural claims — half occupancy (mapped length is
+exactly 1/2), the partition-count rule ``p >= 2*(n+1)``, unique ownership,
+and boundary preservation under repartitioning — that the reproduction's
+figures silently depend on.  This module turns those claims into *runtime
+contracts*: lightweight decorators that re-validate an object's invariants
+after every mutating operation, and pre/post-condition helpers for pure
+functions.
+
+Contracts are **on by default** (so every pytest run exercises them) and
+disabled for performance work by setting ``REPRO_CONTRACTS=off`` in the
+environment *before the package is imported*.  When disabled at import
+time the decorators return the undecorated function, so the hot path pays
+zero overhead — not even a flag check.  When enabled, tests may still
+toggle checking dynamically with :func:`set_contracts` (used to measure
+overhead and to test the toggle itself).
+
+Usage::
+
+    class Thing:
+        @checks_invariants
+        def mutate(self) -> None: ...
+        def check_invariants(self) -> None: ...   # raises on breach
+
+    @checks_invariants
+    def grow(...): ...
+
+    def compute(...):
+        require(x >= 0, "negative input {}", x)
+        ...
+        ensure(total == HALF, "half-occupancy broken: {} != {}", total, HALF)
+
+A breached contract raises :class:`ContractViolation` (a subclass of
+``AssertionError``) chaining the underlying validator error, so test
+failures show both the operation that broke the invariant and the exact
+breach.
+"""
+
+from __future__ import annotations
+
+import functools
+import os
+from typing import Any, Callable, TypeVar
+
+_F = TypeVar("_F", bound=Callable[..., Any])
+
+#: Environment variable controlling the contract layer.
+ENV_VAR = "REPRO_CONTRACTS"
+
+
+class ContractViolation(AssertionError):
+    """An operation violated one of the paper's stated invariants."""
+
+
+def _env_disabled() -> bool:
+    """True when ``REPRO_CONTRACTS`` requests the zero-overhead mode."""
+    return os.environ.get(ENV_VAR, "on").strip().lower() in (
+        "off", "0", "false", "no", "disabled",
+    )
+
+
+#: Frozen at import: when True, decorators are identity functions.
+COMPILED_OUT = _env_disabled()
+
+_enabled = not COMPILED_OUT
+
+
+def contracts_enabled() -> bool:
+    """Whether contracts are currently being checked."""
+    return _enabled and not COMPILED_OUT
+
+
+def set_contracts(enabled: bool) -> bool:
+    """Dynamically enable/disable checking; returns the previous state.
+
+    Has no effect when contracts were compiled out at import time
+    (``REPRO_CONTRACTS=off``): the wrappers no longer exist, so there is
+    nothing to re-enable.  Tests use this to exercise both sides of the
+    toggle without re-importing the package.
+    """
+    # The toggle *is* process-global by design: it models the environment
+    # switch, and COMPILED_OUT keeps the zero-overhead path honest.
+    global _enabled  # repro-lint: disable=RPL009
+    previous = _enabled
+    _enabled = bool(enabled)
+    return previous
+
+
+def require(condition: bool, message: str, *args: Any) -> None:
+    """Precondition helper: raise :class:`ContractViolation` unless true."""
+    if _enabled and not condition:
+        raise ContractViolation("precondition failed: " + message.format(*args))
+
+
+def ensure(condition: bool, message: str, *args: Any) -> None:
+    """Postcondition helper: raise :class:`ContractViolation` unless true."""
+    if _enabled and not condition:
+        raise ContractViolation("postcondition failed: " + message.format(*args))
+
+
+def checks_invariants(method: _F) -> _F:
+    """After ``method`` returns, call ``self.check_invariants()``.
+
+    The decorated method's class must expose a ``check_invariants()`` (or
+    ``check_consistency()``) validator that raises on breach.  Exceptions
+    from the validator are re-raised as :class:`ContractViolation` naming
+    the mutating operation, with the original error chained.
+    """
+    if COMPILED_OUT:
+        return method
+
+    @functools.wraps(method)
+    def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+        result = method(self, *args, **kwargs)
+        if _enabled:
+            validate = getattr(self, "check_invariants", None)
+            if validate is None:
+                validate = self.check_consistency
+            try:
+                validate()
+            except ContractViolation:
+                raise
+            except Exception as exc:
+                raise ContractViolation(
+                    f"{type(self).__name__}.{method.__name__} broke an "
+                    f"invariant: {exc}"
+                ) from exc
+        return result
+
+    return wrapper  # type: ignore[return-value]
+
+
+def preserves(
+    capture: Callable[[Any], Any],
+    message: str = "state not preserved",
+) -> Callable[[_F], _F]:
+    """Decorator factory: assert ``capture(self)`` is unchanged by the call.
+
+    ``capture`` snapshots whatever must survive the operation (for
+    :meth:`repro.core.interval.MappedInterval.repartition` that is every
+    server's mapped segments — the paper's "further partitioning ... does
+    not move any existing load").  The snapshots are compared with ``==``.
+    """
+    def decorate(method: _F) -> _F:
+        if COMPILED_OUT:
+            return method
+
+        @functools.wraps(method)
+        def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+            if not _enabled:
+                return method(self, *args, **kwargs)
+            before = capture(self)
+            result = method(self, *args, **kwargs)
+            after = capture(self)
+            if before != after:
+                raise ContractViolation(
+                    f"{type(self).__name__}.{method.__name__}: {message} "
+                    f"(before={before!r}, after={after!r})"
+                )
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate
+
+
+def invariant(
+    predicate: Callable[[Any], bool],
+    message: str,
+) -> Callable[[_F], _F]:
+    """Decorator factory: assert ``predicate(self)`` after the method.
+
+    For invariants that are not part of an object's own
+    ``check_invariants`` — e.g. the cluster simulation's "every file set
+    is owned by exactly one registered server".
+    """
+    def decorate(method: _F) -> _F:
+        if COMPILED_OUT:
+            return method
+
+        @functools.wraps(method)
+        def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
+            result = method(self, *args, **kwargs)
+            if _enabled and not predicate(self):
+                raise ContractViolation(
+                    f"{type(self).__name__}.{method.__name__}: {message}"
+                )
+            return result
+
+        return wrapper  # type: ignore[return-value]
+
+    return decorate

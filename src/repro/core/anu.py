@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping
 
+from ..contracts import checks_invariants
 from .hashing import HashFamily
 from .interval import MappedInterval
 
@@ -77,14 +78,17 @@ class ANUPlacement:
         """Current mapped-region sizes in interval ticks."""
         return self.interval.shares()
 
+    @checks_invariants
     def set_shares(self, shares: Mapping[str, float]) -> None:
         """Rescale mapped regions (minimal movement); see the interval docs."""
         self.interval.set_shares(shares)
 
+    @checks_invariants
     def add_server(self, name: str, share_fraction: float | None = None) -> None:
         """Commission or recover a server."""
         self.interval.add_server(name, share_fraction)
 
+    @checks_invariants
     def remove_server(self, name: str) -> None:
         """Fail or decommission a server."""
         self.interval.remove_server(name)

@@ -28,6 +28,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Iterable, Mapping
 
+from ..contracts import checks_invariants, preserves
+
 RESOLUTION_BITS = 48
 #: Total ticks in the unit interval.
 RESOLUTION = 1 << RESOLUTION_BITS
@@ -209,6 +211,7 @@ class MappedInterval:
     # ------------------------------------------------------------------
     # Share updates (minimal movement)
     # ------------------------------------------------------------------
+    @checks_invariants
     def set_shares(self, shares: Mapping[str, float]) -> None:
         """Rescale mapped regions to the given relative shares.
 
@@ -314,6 +317,7 @@ class MappedInterval:
     # ------------------------------------------------------------------
     # Membership changes
     # ------------------------------------------------------------------
+    @checks_invariants
     def add_server(self, name: str, share_fraction: float | None = None) -> None:
         """Add (commission or recover) a server.
 
@@ -340,6 +344,7 @@ class MappedInterval:
         new_shares[name] = share_fraction * HALF
         self.set_shares(new_shares)
 
+    @checks_invariants
     def remove_server(self, name: str) -> None:
         """Remove (fail or decommission) a server.
 
@@ -361,6 +366,11 @@ class MappedInterval:
         survivors = {s: max(v, 1) for s, v in self._shares.items()}
         self.set_shares(survivors)
 
+    @checks_invariants
+    @preserves(
+        lambda self: {s: self.segments(s) for s in self.servers},
+        message="repartition moved a mapped-region boundary",
+    )
     def repartition(self) -> None:
         """Split every partition in half (p doubles); moves no boundary."""
         old_p = self._p

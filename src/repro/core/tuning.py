@@ -28,6 +28,8 @@ import statistics
 from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
+from ..contracts import ensure
+
 
 @dataclass(frozen=True)
 class ServerReport:
@@ -201,6 +203,26 @@ class DelegateTuner:
         if sum(new_shares.values()) <= 0.0:
             new_shares = dict(current_shares)
             tuned = {}
+        ensure(
+            set(new_shares) == set(current_shares),
+            "tuner changed the server set: {} -> {}",
+            sorted(current_shares), sorted(new_shares),
+        )
+        ensure(
+            all(v >= 0.0 for v in new_shares.values()),
+            "tuner produced a negative share in {}", new_shares,
+        )
+        ensure(
+            sum(new_shares.values()) > 0.0,
+            "tuner zeroed every share",
+        )
+        ensure(
+            all(
+                1.0 / cfg.max_step <= f <= cfg.max_step
+                for f in tuned.values()
+            ),
+            "tuning factor escaped the max_step clamp: {}", tuned,
+        )
         return TuningDecision(average=avg, new_shares=new_shares, tuned=tuned)
 
     # ------------------------------------------------------------------

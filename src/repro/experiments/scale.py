@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..core.anu import ANUPlacement
+from ..sim.rng import StreamFactory
 from ..core.movement import diff_assignment
 from ..core.tuning import DelegateTuner, ServerReport, TuningConfig
 from ..metrics.balance import coefficient_of_variation
@@ -94,7 +95,7 @@ def measure_scale_point(
     seed: int = 0,
 ) -> ScalePoint:
     """Tune a cluster of ``n_servers`` and measure the scaling metrics."""
-    rng = np.random.default_rng(seed)
+    rng = StreamFactory(seed).stream("scale.measure")
     speeds = _speeds(n_servers, rng)
     weights = _weights(n_servers * filesets_per_server, rng)
     placement = ANUPlacement(sorted(speeds))

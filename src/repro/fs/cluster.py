@@ -16,6 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
+from ..contracts import checks_invariants
 from ..core.anu import ANUPlacement
 from ..core.hashing import HashFamily
 from ..core.movement import MovementLedger, diff_assignment
@@ -164,6 +165,7 @@ class MetadataCluster:
     # ------------------------------------------------------------------
     # Tuning and membership
     # ------------------------------------------------------------------
+    @checks_invariants
     def retune(self, reports: Sequence[ServerReport], now: float = 0.0) -> int:
         """One delegate round: rescale regions, move images; returns the
         number of file sets moved."""
@@ -179,6 +181,7 @@ class MetadataCluster:
             self.placement.assignment(self.registry.filesets), now=now
         )
 
+    @checks_invariants
     def fail_server(self, name: str, now: float = 0.0) -> int:
         """Crash a server: its unflushed updates are lost; its file sets
         are re-hashed to survivors, which load the last flushed images."""
@@ -199,6 +202,7 @@ class MetadataCluster:
             self.placement.assignment(self.registry.filesets), now=now
         )
 
+    @checks_invariants
     def add_server(self, name: str, now: float = 0.0) -> int:
         """Commission (or recover) a server."""
         if name in self.services:
@@ -210,6 +214,7 @@ class MetadataCluster:
             self.placement.assignment(self.registry.filesets), now=now
         )
 
+    @checks_invariants
     def remove_server(self, name: str, now: float = 0.0) -> int:
         """Graceful decommission: flush everything, then re-own."""
         service = self.services.get(name)

@@ -1,0 +1,6 @@
+"""``python -m repro.lint`` — same behaviour as the console script."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,69 @@
+"""Diagnostics and suppression handling for ``repro-lint``.
+
+A :class:`Diagnostic` is one finding: a rule ID, a location, a message,
+and the rule's autofix hint.  Suppressions are source comments:
+
+``# repro-lint: disable=RPL004``
+    silences the listed rule IDs (comma-separated, or ``all``) on that
+    line — place it on the offending line, with a justification;
+``# repro-lint: disable-file=RPL004``
+    silences the listed rule IDs for the whole file.
+
+Every suppression should carry a justification in the surrounding code;
+`CONTRIBUTING.md` documents the policy.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+_DISABLE_LINE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+_DISABLE_FILE = re.compile(r"#\s*repro-lint:\s*disable-file=([A-Za-z0-9_,\s]+)")
+
+
+@dataclass(frozen=True, order=True)
+class Diagnostic:
+    """One static-analysis finding."""
+
+    path: str
+    line: int
+    col: int
+    rule_id: str
+    message: str
+    hint: str = ""
+
+    def render(self) -> str:
+        """The finding as one ``path:line:col: ID message`` console line."""
+        text = f"{self.path}:{self.line}:{self.col}: {self.rule_id} {self.message}"
+        if self.hint:
+            text += f"  [fix: {self.hint}]"
+        return text
+
+
+def _parse_ids(blob: str) -> set[str]:
+    return {part.strip().upper() for part in blob.split(",") if part.strip()}
+
+
+class SuppressionIndex:
+    """Per-file index of ``repro-lint: disable`` comments."""
+
+    def __init__(self, lines: list[str]) -> None:
+        """Scan ``lines`` (the file's source lines) for suppressions."""
+        self.by_line: dict[int, set[str]] = {}
+        self.file_wide: set[str] = set()
+        for lineno, text in enumerate(lines, start=1):
+            match = _DISABLE_FILE.search(text)
+            if match:
+                self.file_wide |= _parse_ids(match.group(1))
+                continue
+            match = _DISABLE_LINE.search(text)
+            if match:
+                self.by_line[lineno] = _parse_ids(match.group(1))
+
+    def suppresses(self, diagnostic: Diagnostic) -> bool:
+        """Whether ``diagnostic`` is silenced by a comment."""
+        for ids in (self.file_wide, self.by_line.get(diagnostic.line, set())):
+            if "ALL" in ids or diagnostic.rule_id in ids:
+                return True
+        return False

@@ -1,0 +1,169 @@
+"""Exact-arithmetic rules: interval/tick math stays in integers.
+
+``repro.core.interval`` holds the half-occupancy invariant *exactly*:
+shares are integer ticks summing to exactly ``HALF`` and every check is
+tolerance-free.  That only works while tick arithmetic never passes
+through floats.  These rules flag the three ways float contamination has
+crept into similar codebases: exact ``==`` on computed floats, flooring
+a true division with ``int(...)`` (wrong for values a ULP below an
+integer), and casting tick quantities to float.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import Rule, dotted_name, register
+
+#: Float literals exempt from RPL004: exact sentinels used for "unset",
+#: "whole", and sign flips, which are representable and intentional.
+_EXACT_SENTINELS = (0.0, 1.0, -1.0)
+
+
+def _is_float_literal(node: ast.expr) -> bool:
+    """A non-sentinel float constant (including ``-0.5`` style negations)."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, (ast.USub, ast.UAdd)):
+        node = node.operand
+    return (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, float)
+        and node.value not in _EXACT_SENTINELS
+    )
+
+
+def _contains_true_division(node: ast.expr) -> bool:
+    """Whether the expression tree contains a ``/`` (true division)."""
+    return any(
+        isinstance(sub, ast.BinOp) and isinstance(sub.op, ast.Div)
+        for sub in ast.walk(node)
+    )
+
+
+def _is_float_call(node: ast.expr) -> bool:
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+    )
+
+
+@register
+class FloatEquality(Rule):
+    """RPL004: no exact ``==``/``!=`` against computed float values.
+
+    Applies to ``src/repro/``.  An exact comparison against a float
+    literal (other than the 0.0/±1.0 sentinels), a ``float(...)`` cast,
+    or a true-division result is almost always a latent tick-boundary
+    bug: the comparison silently flips when an upstream computation
+    changes by one ULP.  Compare integers (ticks), use inequalities, or
+    ``math.isclose`` with an explicit tolerance.
+    """
+
+    id = "RPL004"
+    title = "exact float equality on a computed value"
+    hint = "compare integer ticks, use an inequality, or math.isclose(...)"
+
+    @classmethod
+    def applies_to(cls, ctx) -> bool:
+        """Production code only (tests may assert exact floats on purpose)."""
+        return ctx.in_package
+
+    def visit_Compare(self, node: ast.Compare) -> None:
+        """Flag Eq/NotEq comparisons with float-typed operand forms."""
+        operands = [node.left, *node.comparators]
+        for op, left, right in zip(node.ops, operands, operands[1:]):
+            if not isinstance(op, (ast.Eq, ast.NotEq)):
+                continue
+            for side in (left, right):
+                if (
+                    _is_float_literal(side)
+                    or _is_float_call(side)
+                    or _contains_true_division(side)
+                ):
+                    self.report(
+                        node,
+                        "exact equality on a float value is one ULP away "
+                        "from flipping",
+                    )
+                    break
+        self.generic_visit(node)
+
+
+@register
+class IntOfTrueDivision(Rule):
+    """RPL005: ``int(a / b)`` must be ``a // b``.
+
+    ``int(a / b)`` rounds through a float: for large tick values the
+    quotient ``a / b`` can land one ULP below (or above) the exact
+    integer and the cast truncates to the wrong partition index.  Floor
+    division stays exact for arbitrary-precision ints.
+    """
+
+    id = "RPL005"
+    title = "int() applied to a true division"
+    hint = "replace int(a / b) with a // b (exact for integers)"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag ``int(<expr / expr>)``."""
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "int"
+            and len(node.args) == 1
+            and isinstance(node.args[0], ast.BinOp)
+            and isinstance(node.args[0].op, ast.Div)
+        ):
+            self.report(node, "int(a / b) rounds through a float")
+        self.generic_visit(node)
+
+
+#: Identifier fragments that denote integer tick quantities in repro.core.
+_TICK_NAME_FRAGMENTS = ("tick", "psize", "prefix")
+_TICK_CONSTANTS = ("RESOLUTION", "HALF")
+
+
+def _names_ticks(node: ast.expr) -> str | None:
+    """The offending identifier when ``node`` names a tick quantity."""
+    if isinstance(node, ast.Name):
+        name = node.id
+    elif isinstance(node, ast.Attribute):
+        name = node.attr
+    else:
+        return None
+    if name in _TICK_CONSTANTS:
+        return name
+    lowered = name.lower()
+    if any(fragment in lowered for fragment in _TICK_NAME_FRAGMENTS):
+        return name
+    return None
+
+
+@register
+class FloatCastOnTicks(Rule):
+    """RPL006: no ``float(...)`` cast of tick quantities in ``repro.core``.
+
+    Tick counts are exact integers up to ``2**48``; a float cast is only
+    lossless below ``2**53`` and any arithmetic after the cast leaves
+    the exact domain the interval invariants are checked in.  Convert at
+    the edge (``share_fraction``) and keep core math integral.
+    """
+
+    id = "RPL006"
+    title = "float() cast of a tick quantity in repro.core"
+    hint = "keep tick math integral; convert to fractions only at the API edge"
+
+    @classmethod
+    def applies_to(cls, ctx) -> bool:
+        """Exact-arithmetic land only: ``src/repro/core/``."""
+        return ctx.in_core
+
+    def visit_Call(self, node: ast.Call) -> None:
+        """Flag ``float(<tick-named expression>)``."""
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "float"
+            and len(node.args) == 1
+        ):
+            name = _names_ticks(node.args[0])
+            if name is not None:
+                self.report(node, f"float() cast of tick quantity {name!r}")
+        self.generic_visit(node)

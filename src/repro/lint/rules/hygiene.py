@@ -1,0 +1,114 @@
+"""Simulation-hygiene rules: state stays where the simulator can replay it.
+
+A discrete-event simulation is only replayable when all mutable state
+lives in objects created per-run.  Mutable default arguments and
+module-level ``global`` mutation leak state *across* runs (the second
+simulation in a process starts from the first one's leftovers), and bare
+``except:`` silently swallows the very invariant violations the contract
+layer exists to surface.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import Rule, register
+
+_MUTABLE_CALLS = ("list", "dict", "set", "defaultdict", "deque", "Counter")
+
+
+def _is_mutable_literal(node: ast.expr) -> bool:
+    """Whether a default-argument expression is a shared mutable object."""
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp,
+                         ast.DictComp, ast.SetComp)):
+        return True
+    return (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id in _MUTABLE_CALLS
+    )
+
+
+@register
+class MutableDefaultArgument(Rule):
+    """RPL007: no mutable default arguments.
+
+    A ``def f(buffer=[])`` default is created once at import and shared
+    by every call — state from one simulated run leaks into the next,
+    which is unreproducible *and* order-dependent across tests.  Default
+    to ``None`` and create the container inside the function.
+    """
+
+    id = "RPL007"
+    title = "mutable default argument"
+    hint = "default to None and create the container in the body"
+
+    def _check_args(self, node: ast.FunctionDef | ast.AsyncFunctionDef) -> None:
+        defaults = list(node.args.defaults) + [
+            d for d in node.args.kw_defaults if d is not None
+        ]
+        for default in defaults:
+            if _is_mutable_literal(default):
+                self.report(
+                    default,
+                    f"mutable default in {node.name}() is shared across calls",
+                )
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        """Check positional and keyword-only defaults."""
+        self._check_args(node)
+        self.generic_visit(node)
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        """Check async defs the same way."""
+        self._check_args(node)
+        self.generic_visit(node)
+
+
+@register
+class BareExcept(Rule):
+    """RPL008: no bare ``except:`` handlers.
+
+    A bare ``except:`` catches ``SystemExit``, ``KeyboardInterrupt``,
+    and — fatally for this repo — :class:`repro.contracts.ContractViolation`,
+    turning an invariant breach into silent corruption of the figures.
+    Catch the narrowest exception that the handler can actually handle.
+    """
+
+    id = "RPL008"
+    title = "bare except handler"
+    hint = "catch a specific exception type (never ContractViolation)"
+
+    def visit_ExceptHandler(self, node: ast.ExceptHandler) -> None:
+        """Flag handlers with no exception type."""
+        if node.type is None:
+            self.report(node, "bare except: swallows contract violations")
+        self.generic_visit(node)
+
+
+@register
+class GlobalMutation(Rule):
+    """RPL009: no ``global`` statements in production code.
+
+    Module-level state mutated from function bodies survives across
+    simulation runs in the same process; two back-to-back runs with the
+    same seed then disagree, violating the determinism contract.  Hold
+    run state on the simulation object (or thread it explicitly).
+    """
+
+    id = "RPL009"
+    title = "global statement in production code"
+    hint = "move the state onto the owning object or pass it explicitly"
+
+    @classmethod
+    def applies_to(cls, ctx) -> bool:
+        """Production code only (test fixtures occasionally use globals)."""
+        return ctx.in_package
+
+    def visit_Global(self, node: ast.Global) -> None:
+        """Flag every ``global`` statement."""
+        self.report(
+            node,
+            f"global mutation of {', '.join(node.names)} leaks state across runs",
+        )
+        self.generic_visit(node)

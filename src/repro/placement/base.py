@@ -23,6 +23,7 @@ from typing import Mapping, Sequence
 import numpy as np
 
 from ..core.tuning import ServerReport
+from ..sim.rng import StreamFactory
 
 
 @dataclass
@@ -44,7 +45,7 @@ class TuningContext:
     server_speeds: Mapping[str, float] | None = None
     oracle_demand: Mapping[str, float] | None = None
     rng: np.random.Generator = field(
-        default_factory=lambda: np.random.default_rng(0)
+        default_factory=lambda: StreamFactory(0).stream("tuning-context")
     )
 
 

@@ -20,6 +20,8 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from ..sim.rng import StreamFactory
+
 
 def max_load_simple_randomization(n_bins: int, n_balls: int) -> float:
     """Expected max load under uniform random placement (leading terms).
@@ -61,7 +63,7 @@ def simulate_simple_randomization(
     n_bins: int, n_balls: int, trials: int, seed: int = 0
 ) -> BinsExperiment:
     """Monte-Carlo the normalized max load of uniform random placement."""
-    rng = np.random.default_rng(seed)
+    rng = StreamFactory(seed).stream("theory.bins")
     maxes = np.empty(trials)
     for t in range(trials):
         counts = np.bincount(

@@ -19,6 +19,8 @@ from typing import Iterator
 
 import numpy as np
 
+from ..sim.rng import StreamFactory
+
 
 @dataclass(frozen=True)
 class TraceRecord:
@@ -193,7 +195,7 @@ class Trace:
         if fraction == 1.0 or len(self) == 0:
             return Trace(self.times, self.fileset_ids, self.costs,
                          self.fileset_names, duration=self.duration)
-        rng = np.random.default_rng(seed)
+        rng = StreamFactory(seed).stream("trace.thin")
         keep = rng.random(len(self)) < fraction
         return Trace(
             self.times[keep], self.fileset_ids[keep], self.costs[keep],

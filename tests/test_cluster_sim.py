@@ -89,7 +89,7 @@ def test_seed_changes_mover_draws_but_not_totals():
 def test_tuning_rounds_match_duration():
     trace = small_trace()
     res = ClusterSimulation(small_cluster(), RoundRobinPolicy(), trace).run()
-    assert res.tuning_rounds == int(trace.duration / 120.0)
+    assert res.tuning_rounds == int(trace.duration // 120.0)
 
 
 def test_anu_beats_static_on_heterogeneous_cluster():

@@ -1,0 +1,210 @@
+"""The runtime contract layer: invariants actually fire under pytest.
+
+The acceptance bar: an intentionally-broken interval mutation raises
+:class:`~repro.contracts.ContractViolation`; the ``REPRO_CONTRACTS=off``
+environment compiles the layer out entirely (no wrappers at all); and
+the dynamic toggle lets a single process measure both sides.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro import contracts
+from repro.contracts import (
+    ContractViolation,
+    checks_invariants,
+    ensure,
+    invariant,
+    preserves,
+    require,
+    set_contracts,
+)
+from repro.core.anu import ANUPlacement
+from repro.core.interval import HALF, MappedInterval
+from repro.core.tuning import DelegateTuner, ServerReport
+
+
+@pytest.fixture(autouse=True)
+def _contracts_on():
+    """Every test here runs with checking enabled, restored afterwards."""
+    previous = set_contracts(True)
+    yield
+    set_contracts(previous)
+
+
+def test_contracts_are_active_under_pytest():
+    assert not contracts.COMPILED_OUT
+    assert contracts.contracts_enabled()
+
+
+# ----------------------------------------------------------------------
+# The headline: a broken interval mutation raises
+# ----------------------------------------------------------------------
+def test_corrupted_interval_raises_on_next_mutation():
+    iv = MappedInterval(["a", "b", "c"])
+    iv._shares["a"] += 1  # break half-occupancy behind the API's back
+    with pytest.raises(ContractViolation, match="set_shares"):
+        iv.set_shares({"a": 1.0, "b": 1.0, "c": 1.0})
+
+
+def test_corrupted_interval_raises_through_anu_layer():
+    placement = ANUPlacement(["a", "b"])
+    placement.interval._prefix[0] += 1  # desync prefix from share records
+    with pytest.raises(ContractViolation):
+        placement.set_shares({"a": 2.0, "b": 1.0})
+
+
+def test_healthy_mutations_pass_all_contracts():
+    iv = MappedInterval(["a", "b"])
+    iv.set_shares({"a": 3.0, "b": 1.0})
+    iv.add_server("c")
+    iv.remove_server("a")
+    iv.repartition()
+    assert sum(iv.shares().values()) == HALF
+
+
+def test_toggle_disables_and_reenables_checking():
+    iv = MappedInterval(["a", "b"])
+    iv._shares["a"] += 1
+    set_contracts(False)
+    try:
+        iv.set_shares({"a": 1.0, "b": 1.0})  # corrupted, but unchecked
+    finally:
+        set_contracts(True)
+    # Re-enabled: the lingering corruption is caught on the next mutation.
+    iv._shares["a"] += 1
+    with pytest.raises(ContractViolation):
+        iv.set_shares({"a": 1.0, "b": 1.0})
+
+
+# ----------------------------------------------------------------------
+# Decorator / helper semantics
+# ----------------------------------------------------------------------
+class _Box:
+    """Toy object with a checkable invariant (value must stay >= 0)."""
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    @checks_invariants
+    def add(self, delta: int) -> None:
+        """Mutate; the contract validates afterwards."""
+        self.value += delta
+
+    def check_invariants(self) -> None:
+        """Raise when the box went negative."""
+        if self.value < 0:
+            raise ValueError(f"negative value {self.value}")
+
+
+def test_checks_invariants_wraps_and_chains_cause():
+    box = _Box()
+    box.add(5)
+    with pytest.raises(ContractViolation) as excinfo:
+        box.add(-9)
+    assert isinstance(excinfo.value.__cause__, ValueError)
+    assert "add" in str(excinfo.value)
+
+
+def test_preserves_detects_state_change():
+    class Holder:
+        def __init__(self):
+            self.frozen = [1, 2]
+            self.free = 0
+
+        @preserves(lambda self: list(self.frozen), message="frozen moved")
+        def ok(self):
+            self.free += 1
+
+        @preserves(lambda self: list(self.frozen), message="frozen moved")
+        def bad(self):
+            self.frozen.append(3)
+
+    h = Holder()
+    h.ok()
+    with pytest.raises(ContractViolation, match="frozen moved"):
+        h.bad()
+
+
+def test_invariant_predicate_decorator():
+    class Gauge:
+        def __init__(self):
+            self.level = 0
+
+        @invariant(lambda self: self.level <= 10, "overflow")
+        def fill(self, amount):
+            self.level += amount
+
+    g = Gauge()
+    g.fill(10)
+    with pytest.raises(ContractViolation, match="overflow"):
+        g.fill(1)
+
+
+def test_require_and_ensure_helpers():
+    require(True, "never shown")
+    ensure(True, "never shown")
+    with pytest.raises(ContractViolation, match="precondition"):
+        require(False, "value {} out of range", 7)
+    with pytest.raises(ContractViolation, match="postcondition"):
+        ensure(False, "sum drifted")
+
+
+def test_repartition_boundary_preservation_contract_is_wired():
+    iv = MappedInterval(["a", "b"], shares={"a": 3.0, "b": 2.0})
+    before = {s: iv.segments(s) for s in iv.servers}
+    iv.repartition()
+    assert {s: iv.segments(s) for s in iv.servers} == before
+
+
+# ----------------------------------------------------------------------
+# Tuner postconditions
+# ----------------------------------------------------------------------
+def test_tuner_factor_clamp_contract(monkeypatch):
+    tuner = DelegateTuner()
+    monkeypatch.setattr(
+        DelegateTuner, "_factor", lambda self, latency, avg: 1000.0
+    )
+    reports = [
+        ServerReport("a", 50.0, 100),
+        ServerReport("b", 1.0, 100),
+        ServerReport("c", 1.0, 100),
+    ]
+    with pytest.raises(ContractViolation, match="max_step"):
+        tuner.compute({"a": 1.0, "b": 1.0, "c": 1.0}, reports)
+
+
+# ----------------------------------------------------------------------
+# Environment compile-out
+# ----------------------------------------------------------------------
+def _run_python(code: str, **env_overrides) -> None:
+    env = dict(os.environ, **env_overrides)
+    src_dir = os.path.join(os.path.dirname(os.path.dirname(__file__)), "src")
+    env["PYTHONPATH"] = src_dir + os.pathsep + env.get("PYTHONPATH", "")
+    subprocess.run([sys.executable, "-c", code], check=True, env=env)
+
+
+def test_env_off_compiles_wrappers_out():
+    _run_python(
+        "import repro.contracts as c\n"
+        "from repro.core.interval import MappedInterval\n"
+        "assert c.COMPILED_OUT\n"
+        "assert not hasattr(MappedInterval.set_shares, '__wrapped__')\n"
+        "iv = MappedInterval(['a', 'b'])\n"
+        "iv._shares['a'] += 1\n"
+        "iv.set_shares({'a': 1.0, 'b': 1.0})  # corrupted but never checked\n",
+        REPRO_CONTRACTS="off",
+    )
+
+
+def test_env_on_installs_wrappers():
+    _run_python(
+        "import repro.contracts as c\n"
+        "from repro.core.interval import MappedInterval\n"
+        "assert not c.COMPILED_OUT\n"
+        "assert hasattr(MappedInterval.set_shares, '__wrapped__')\n",
+        REPRO_CONTRACTS="on",
+    )

@@ -1,0 +1,90 @@
+"""Hypothesis properties of largest-remainder rounding in
+:func:`repro.core.interval.fractions_to_ticks`.
+
+The three properties every caller (share rescaling, the delegate tuner,
+server add/remove) silently relies on:
+
+- **exact total**: the integer ticks sum to exactly ``total`` — this is
+  the half-occupancy invariant at its source;
+- **zero stays zero**: an idle server under top-off tuning owns nothing,
+  so a zero share must never be rounded up;
+- **permutation invariance**: the result depends only on the name->share
+  mapping, not on dict insertion order — otherwise two nodes computing
+  the same reconfiguration could disagree.
+"""
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+import pytest
+
+from repro.core.interval import HALF, IntervalError, fractions_to_ticks
+
+names = st.text(
+    alphabet="abcdefghijklmnopqrstuvwxyz0123456789-", min_size=1, max_size=12
+)
+share_values = st.floats(
+    min_value=0.0, max_value=1e6, allow_nan=False, allow_infinity=False
+)
+share_maps = st.dictionaries(names, share_values, min_size=1, max_size=16)
+totals = st.integers(min_value=1, max_value=HALF)
+
+
+@given(shares=share_maps, total=totals)
+@settings(max_examples=300)
+def test_ticks_sum_exactly_to_total(shares, total):
+    assume(sum(shares.values()) > 0)
+    ticks = fractions_to_ticks(shares, total)
+    assert sum(ticks.values()) == total
+    assert set(ticks) == set(shares)
+    assert all(v >= 0 for v in ticks.values())
+
+
+@given(shares=share_maps, total=totals)
+@settings(max_examples=300)
+def test_zero_shares_stay_zero(shares, total):
+    assume(sum(shares.values()) > 0)
+    ticks = fractions_to_ticks(shares, total)
+    for name, share in shares.items():
+        if share == 0.0:
+            assert ticks[name] == 0
+
+
+@given(shares=share_maps, total=totals, seed=st.randoms(use_true_random=False))
+@settings(max_examples=300)
+def test_result_is_permutation_invariant(shares, total, seed):
+    assume(sum(shares.values()) > 0)
+    baseline = fractions_to_ticks(shares, total)
+    items = list(shares.items())
+    seed.shuffle(items)
+    assert fractions_to_ticks(dict(items), total) == baseline
+    assert fractions_to_ticks(dict(reversed(list(shares.items()))), total) == baseline
+
+
+@given(shares=share_maps)
+@settings(max_examples=200)
+def test_default_total_is_half_occupancy(shares):
+    assume(sum(shares.values()) > 0)
+    assert sum(fractions_to_ticks(shares).values()) == HALF
+
+
+def test_all_zero_and_negative_shares_rejected():
+    with pytest.raises(IntervalError):
+        fractions_to_ticks({"a": 0.0, "b": 0.0})
+    with pytest.raises(IntervalError):
+        fractions_to_ticks({"a": -1.0, "b": 2.0})
+
+
+@given(
+    positive=st.dictionaries(names, st.floats(0.25, 100.0, allow_nan=False),
+                             min_size=1, max_size=8),
+    idle=st.dictionaries(names, st.just(0.0), max_size=8),
+)
+@settings(max_examples=200)
+def test_spill_never_lands_on_idle_servers(positive, idle):
+    """Even when quotas round down hard, leftovers go to busy servers."""
+    shares = {**idle, **positive}
+    ticks = fractions_to_ticks(shares, total=len(shares) + 1)
+    for name in idle:
+        if name not in positive:
+            assert ticks[name] == 0

@@ -1,0 +1,20 @@
+"""The repository lints itself: a dirty tree is a failing test.
+
+This is the pytest wiring for ``repro-lint`` — the same gate CI runs,
+enforced locally on every ``pytest`` invocation so a violation can never
+land between CI runs.
+"""
+
+import pathlib
+
+from repro.lint import lint_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+LINTED_TREES = ("src", "tests", "benchmarks", "examples")
+
+
+def test_repository_is_lint_clean():
+    targets = [REPO_ROOT / tree for tree in LINTED_TREES if (REPO_ROOT / tree).is_dir()]
+    findings = lint_paths(targets)
+    rendered = "\n".join(d.render() for d in findings)
+    assert findings == [], f"repro-lint found violations:\n{rendered}"

@@ -158,7 +158,7 @@ def test_delegate_crash_mid_collection_round():
     assert delegate is not None
     # The next tuning round fires at a multiple of tuning_interval (3 s);
     # crash 0.1 s after one fires, inside the 0.3 s report window.
-    next_round = (int(cp.engine.now / 3.0) + 1) * 3.0
+    next_round = (int(cp.engine.now // 3.0) + 1) * 3.0
     cp.run_until(next_round + 0.1)
     cp.crash(delegate)
     cp.run_until(next_round + 30.0)
