@@ -366,13 +366,17 @@ class ClusterSimulation:
             self._membership_changed()
             return
         if kind is FaultKind.COMMISSION:
-            spec = ServerSpec(name=event.server, speed=event.speed)
-            self.servers[spec.name] = MetadataServer(self.engine, spec)
-            self.collector.ensure_server(spec.name)
-            self.completed.setdefault(spec.name, 0)
+            self._commission(ServerSpec(name=event.server, speed=event.speed))
             self._membership_changed()
             return
         raise AssertionError(f"unhandled fault kind {kind!r}")  # pragma: no cover
+
+    @checks_invariants
+    def _commission(self, spec: ServerSpec) -> None:
+        """Register a newly commissioned server (membership change follows)."""
+        self.servers[spec.name] = MetadataServer(self.engine, spec)
+        self.collector.ensure_server(spec.name)
+        self.completed.setdefault(spec.name, 0)
 
     @checks_invariants
     def _membership_changed(self) -> None:

@@ -29,6 +29,7 @@ from dataclasses import dataclass
 from typing import Iterable, Mapping
 
 from ..contracts import checks_invariants, preserves
+from ..units import Ticks
 
 RESOLUTION_BITS = 48
 #: Total ticks in the unit interval.
@@ -52,7 +53,9 @@ def min_partitions(n_servers: int) -> int:
     return p
 
 
-def fractions_to_ticks(shares: Mapping[str, float], total: int = HALF) -> dict[str, int]:
+def fractions_to_ticks(
+    shares: Mapping[str, float], total: int = HALF
+) -> dict[str, Ticks]:
     """Round non-negative float shares to integer ticks summing exactly to ``total``.
 
     Uses largest-remainder rounding; shares are first normalized.  A share of
@@ -144,9 +147,9 @@ class MappedInterval:
         return self._p
 
     @property
-    def partition_ticks(self) -> int:
+    def partition_ticks(self) -> Ticks:
         """Exact partition size in ticks."""
-        return RESOLUTION // self._p
+        return Ticks(RESOLUTION // self._p)
 
     @property
     def servers(self) -> list[str]:
@@ -157,15 +160,15 @@ class MappedInterval:
     def n_servers(self) -> int:
         return len(self._shares)
 
-    def share_ticks(self, name: str) -> int:
+    def share_ticks(self, name: str) -> Ticks:
         """Mapped-region size of ``name`` in ticks."""
-        return self._shares[name]
+        return Ticks(self._shares[name])
 
     def share_fraction(self, name: str) -> float:
         """Mapped-region size of ``name`` as a fraction of the unit interval."""
         return self._shares[name] / RESOLUTION
 
-    def shares(self) -> dict[str, int]:
+    def shares(self) -> dict[str, Ticks]:
         """All share sizes in ticks (copy)."""
         return dict(self._shares)
 

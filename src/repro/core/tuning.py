@@ -29,6 +29,7 @@ from dataclasses import dataclass, field
 from typing import Mapping, Sequence
 
 from ..contracts import ensure
+from ..units import Seconds
 
 
 @dataclass(frozen=True)
@@ -36,7 +37,7 @@ class ServerReport:
     """One server's performance report for a tuning interval."""
 
     name: str
-    mean_latency: float
+    mean_latency: Seconds
     request_count: int
 
     def __post_init__(self) -> None:
@@ -103,7 +104,7 @@ class TuningDecision:
 
 def system_average(
     reports: Sequence[ServerReport], method: str = "weighted_mean"
-) -> float:
+) -> Seconds:
     """The delegate's "average" latency across active servers.
 
     Idle servers (zero requests) are excluded: their latency carries no
@@ -124,7 +125,7 @@ def system_average(
 
 def comparison_average(
     reports: Sequence[ServerReport], server: str, method: str = "weighted_mean"
-) -> float:
+) -> Seconds:
     """The average that ``server`` is compared against: everyone *else*.
 
     A count-weighted average over all servers has a pathology the delegate

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Sequence
 
-from ..contracts import checks_invariants
+from ..contracts import checks_invariants, invariant
 from ..core.anu import ANUPlacement
 from ..core.hashing import HashFamily
 from ..core.movement import MovementLedger, diff_assignment
@@ -121,6 +121,32 @@ class MetadataCluster:
         if diff.total:
             self.ledger.record(diff)
         return diff.moved
+
+    @invariant(
+        lambda self: all(
+            owner in self.services and self.services[owner].owns(fileset)
+            for fileset, owner in self._ownership.items()
+        ),
+        "ownership transfer broke service referential integrity",
+    )
+    def transfer_ownership(
+        self, fileset: str, destination: str, now: float = 0.0
+    ) -> bool:
+        """Move one file set's image to ``destination`` over the shared disk.
+
+        Returns True when an image actually moved.  Asynchronous drivers
+        schedule moves with a delay, so the full :meth:`check_consistency`
+        (which also demands placement agreement) may legitimately not hold
+        until every in-flight move lands; this mutator therefore asserts
+        only that services and the ownership map stay in step.
+        """
+        source = self.owner_of(fileset)
+        if source == destination:
+            return False
+        self.services[source].release_fileset(fileset, now=now)
+        self.services[destination].acquire_fileset(fileset)
+        self._ownership[fileset] = destination
+        return True
 
     def owner_of(self, fileset: str) -> str:
         """The server currently owning ``fileset``."""

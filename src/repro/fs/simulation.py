@@ -193,14 +193,10 @@ class FullSystemSimulation:
 
     def _finish_move(self, fileset: str, destination: str) -> None:
         self._moving.discard(fileset)
-        source = self.cluster.owner_of(fileset)
-        if source == destination:
-            return
         # Flush the source's image and initialize the destination — the
-        # real shared-disk transfer.
-        self.cluster.services[source].release_fileset(
-            fileset, now=self.engine.now
-        )
-        self.cluster.services[destination].acquire_fileset(fileset)
-        self.cluster._ownership[fileset] = destination
-        self.moves += 1
+        # real shared-disk transfer, through the cluster's contract-wrapped
+        # mutator rather than by poking its ownership map.
+        if self.cluster.transfer_ownership(
+            fileset, destination, now=self.engine.now
+        ):
+            self.moves += 1

@@ -1,9 +1,12 @@
 """Console entry point: ``repro-lint [paths...]``.
 
 Exit codes: 0 clean, 1 findings, 2 usage/parse error — so CI can gate on
-it directly.  ``--list-rules`` prints the rule catalogue (ID, title, and
-scope), ``--select`` restricts the run to specific IDs, and
-``--explain RPL00x`` prints a rule's full docstring.
+it directly.  ``--list-rules`` prints the rule catalogue (per-file and
+whole-program), ``--select`` restricts the run to specific IDs,
+``--explain RPLxxx`` prints a rule's full docstring, and ``--format``
+switches between human ``text``, machine ``json``, and CI ``sarif``
+output.  Results are cached by content hash in ``.repro-lint-cache/``
+(``--no-cache`` / ``--cache-dir`` to control).
 """
 
 from __future__ import annotations
@@ -13,7 +16,8 @@ import sys
 from typing import Sequence
 
 from .engine import lint_paths
-from .rules import REGISTRY, all_rules
+from .output import render
+from .rules import REGISTRY, all_flow_rules, all_rules
 
 #: Directories linted when no paths are given (repo-root invocation).
 DEFAULT_PATHS = ("src", "tests", "benchmarks", "examples")
@@ -40,11 +44,23 @@ def _build_parser() -> argparse.ArgumentParser:
         "--select", metavar="IDS",
         help="comma-separated rule IDs to run (default: all)",
     )
+    parser.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text",
+        help="output format (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--no-cache", action="store_true",
+        help="disable the on-disk result cache",
+    )
+    parser.add_argument(
+        "--cache-dir", metavar="DIR", default=None,
+        help="cache directory (default: .repro-lint-cache)",
+    )
     return parser
 
 
 def _list_rules() -> int:
-    for rule in all_rules():
+    for rule in [*all_rules(), *all_flow_rules()]:
         print(f"{rule.id}  {rule.title}")
     return 0
 
@@ -76,14 +92,22 @@ def main(argv: Sequence[str] | None = None) -> int:
             print(f"unknown rule ids: {sorted(unknown)}", file=sys.stderr)
             return 2
         rules = [REGISTRY[rule_id] for rule_id in sorted(wanted)]
+    cache = None
+    if not args.no_cache:
+        from .flow.cache import DEFAULT_CACHE_DIR, LintCache
+
+        cache = LintCache(args.cache_dir or DEFAULT_CACHE_DIR)
     try:
-        findings = lint_paths(args.paths, rules=rules)
+        findings = lint_paths(args.paths, rules=rules, cache=cache)
     except SyntaxError as exc:
         print(f"parse error: {exc}", file=sys.stderr)
         return 2
     except OSError as exc:
         print(f"cannot read {exc.filename or '?'}: {exc.strerror}", file=sys.stderr)
         return 2
+    if args.format != "text":
+        print(render(findings, args.format))
+        return 1 if findings else 0
     for diagnostic in findings:
         print(diagnostic.render())
     if findings:

@@ -1,0 +1,262 @@
+"""RPL101 — interprocedural RNG-stream provenance.
+
+Replay determinism (``tests/test_determinism.py``) rests on two
+properties that no per-file rule can see:
+
+1. every ``Generator`` that reaches a sampling site was minted by
+   ``StreamFactory.stream(name)`` — not by a raw ``np.random`` factory
+   smuggled in through a call chain; and
+2. each named stream stays private to one component.  When two
+   unrelated classes draw from the same stream (typically via attribute
+   aliasing — one object handing its generator to another), their draw
+   orders interleave and any change to one component silently reorders
+   the other's samples.
+
+The analysis tracks generator values through assignments, attributes,
+constructor field binds, parameters, and returns using the shared atom
+engine.  Polymorphic implementations of one role (classes sharing a
+project-defined base, e.g. alternative tuning policies sampling a
+shared ``TuningContext.rng``) count as a single component and are not
+flagged.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..diagnostics import Diagnostic
+from ..rules import FlowRule, dotted_name, register
+from .dataflow import Atom, Lattice, SymbolicEvaluator, finalize, run_evaluators
+from .symbols import ClassInfo
+
+#: ``np.random.Generator`` sampling methods (plus the legacy aliases the
+#: simulator might plausibly reach for).
+SAMPLING_METHODS = frozenset(
+    {
+        "random",
+        "uniform",
+        "exponential",
+        "normal",
+        "standard_normal",
+        "standard_exponential",
+        "integers",
+        "randint",
+        "choice",
+        "shuffle",
+        "permutation",
+        "poisson",
+        "lognormal",
+        "gamma",
+        "beta",
+        "binomial",
+        "geometric",
+        "multinomial",
+        "bytes",
+    }
+)
+
+#: Raw numpy/stdlib generator factories (the provenance RPL101 rejects).
+RAWGEN_FACTORIES = frozenset(
+    {"default_rng", "RandomState", "Generator", "PCG64", "Philox", "SFC64",
+     "MT19937", "Random"}
+)
+
+
+def _is_factory(atoms: set[Atom]) -> bool:
+    return any(
+        a.kind == "instance" and a.key[0].rsplit(".", 1)[-1] == "StreamFactory"
+        for a in atoms
+    )
+
+
+class _RngEvaluator(SymbolicEvaluator):
+    """Adds stream/rawgen semantics and records sampling sites."""
+
+    def __init__(self, analysis: "RngProvenance", *args) -> None:
+        super().__init__(*args)
+        self.analysis = analysis
+
+    def special_call(self, node, chain, recv_atoms, args, kwargs):
+        if isinstance(node.func, ast.Attribute):
+            name = node.func.attr
+            if name == "stream" and _is_factory(recv_atoms):
+                label = None
+                if node.args and isinstance(node.args[0], ast.Constant):
+                    label = node.args[0].value
+                atom = Atom("stream", (self.module.name, node.lineno, label))
+                self.analysis.record_mint(atom, self)
+                return {atom}
+            if name == "spawn" and _is_factory(recv_atoms):
+                return {a for a in recv_atoms if a.kind == "instance"}
+            if name in SAMPLING_METHODS:
+                self.analysis.record_sample(node, recv_atoms, self)
+                # Fall through: a project class may define the same name.
+        return None
+
+    def unknown_call(self, node, chain, recv_atoms, args, kwargs):
+        if chain:
+            full = self.project.qualify_chain(self.module, chain) or ".".join(
+                chain
+            )
+            parts = full.split(".")
+            if parts[-1] in RAWGEN_FACTORIES and (
+                "random" in parts[:-1] or parts[0] == "random"
+            ):
+                return {Atom("rawgen", (self.module.name, node.lineno))}
+        return set()
+
+
+def _base_closure(project, info: ClassInfo | None) -> set[str]:
+    """A class plus every project base reachable from it."""
+    out: set[str] = set()
+    frontier = [info]
+    while frontier:
+        current = frontier.pop()
+        if current is None or current.qualname in out:
+            continue
+        out.add(current.qualname)
+        module = project.modules.get(current.module)
+        if module is None:
+            continue
+        for base in current.base_exprs:
+            chain = dotted_name(base)
+            if not chain:
+                continue
+            symbol = project.resolve_dotted(module, chain)
+            if symbol is not None and symbol.kind == "class":
+                frontier.append(project.class_info(symbol.qualname))
+    return out
+
+
+@register
+class RngProvenance(FlowRule):
+    """Every sampled generator must be a StreamFactory named stream, and
+    each named stream must stay private to one component.
+
+    Wu & Burns' ANU randomization is replayed bit-for-bit only if every
+    component draws from its own deterministic stream.  A generator
+    minted by ``np.random.default_rng`` (no seed-derivation discipline)
+    or a stream aliased into a second class (interleaved draw order)
+    both break replay in ways that only surface as flaky determinism
+    tests much later.  This rule follows generator values across
+    function and class boundaries; classes sharing a project base class
+    are treated as one component, so polymorphic policies sampling a
+    shared context stream do not fire it.
+    """
+
+    id = "RPL101"
+    title = "RNG provenance: sample only from your own StreamFactory stream"
+    hint = (
+        "mint a dedicated stream via StreamFactory.stream(name) (or "
+        "spawn(name) a child factory) for each component"
+    )
+
+    def __init__(self, project) -> None:
+        super().__init__(project)
+        #: stream atom -> (path, line, minting class qualname or None).
+        self.mints: dict[Atom, tuple[str, int, str | None]] = {}
+        #: (path, line, col) -> sample-site record.
+        self.samples: dict[tuple, dict] = {}
+
+    # -- collection hooks ---------------------------------------------
+    def record_mint(self, atom: Atom, ev: _RngEvaluator) -> None:
+        """Remember where a stream atom was minted (first site wins)."""
+        self.mints.setdefault(
+            atom,
+            (
+                ev.module.ctx.path,
+                atom.key[1],
+                ev.owner.qualname if ev.owner else None,
+            ),
+        )
+
+    def record_sample(
+        self, node: ast.Call, recv_atoms: set, ev: _RngEvaluator
+    ) -> None:
+        """Remember a sampling site and the atoms reaching its receiver."""
+        key = (ev.module.ctx.path, node.lineno, node.col_offset)
+        site = self.samples.setdefault(
+            key,
+            {
+                "path": ev.module.ctx.path,
+                "line": node.lineno,
+                "col": node.col_offset,
+                "module": ev.module,
+                "owner": ev.owner.qualname if ev.owner else None,
+                "atoms": set(),
+            },
+        )
+        site["atoms"] |= recv_atoms
+
+    # -- analysis ------------------------------------------------------
+    def run(self) -> list[Diagnostic]:
+        lattice = Lattice()
+        run_evaluators(
+            self.project,
+            lambda module, qualname, fn, owner: _RngEvaluator(
+                self, self.project, lattice, module, qualname, fn, owner
+            ),
+        )
+        finalize(lattice)
+        stream_owners: dict[Atom, dict[str, list[dict]]] = {}
+        for site in self.samples.values():
+            resolved = lattice.resolve(site["atoms"])
+            self._check_rawgen(site, resolved)
+            if site["owner"] is None:
+                continue
+            for atom in resolved:
+                if atom.kind == "stream":
+                    stream_owners.setdefault(atom, {}).setdefault(
+                        site["owner"], []
+                    ).append(site)
+        self._check_sharing(stream_owners)
+        return sorted(self.diagnostics)
+
+    def _check_rawgen(self, site: dict, resolved) -> None:
+        if site["module"].ctx.is_rng_module:
+            return
+        for atom in sorted(
+            (a for a in resolved if a.kind == "rawgen"), key=lambda a: a.key
+        ):
+            origin_module = self.project.modules.get(atom.key[0])
+            if origin_module is not None and origin_module.ctx.is_rng_module:
+                continue
+            self.report(
+                site["path"],
+                site["line"],
+                site["col"],
+                f"generator sampled here was minted by a raw RNG factory at "
+                f"{atom.key[0]}:{atom.key[1]}, not by StreamFactory.stream",
+            )
+
+    def _check_sharing(self, stream_owners) -> None:
+        for atom in sorted(stream_owners, key=lambda a: (str(a.key),)):
+            owners = stream_owners[atom]
+            if len(owners) < 2:
+                continue
+            closures = {
+                qual: _base_closure(self.project, self.project.class_info(qual))
+                for qual in owners
+            }
+            # One component = all sampling classes meet in a common
+            # project-defined base (or one is a base of another).
+            common = None
+            for closure in closures.values():
+                common = closure if common is None else common & closure
+            if common:
+                continue
+            path, line, minter = self.mints.get(atom, ("?", atom.key[1], None))
+            primary = minter if minter in owners else sorted(owners)[0]
+            label = atom.key[2] or "<dynamic>"
+            for qual in sorted(owners):
+                if qual == primary:
+                    continue
+                for site in owners[qual]:
+                    self.report(
+                        site["path"],
+                        site["line"],
+                        site["col"],
+                        f"RNG stream '{label}' (minted at {path}:{line}) is "
+                        f"sampled by both {primary} and {qual}; streams must "
+                        f"not cross class boundaries",
+                    )

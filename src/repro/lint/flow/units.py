@@ -1,0 +1,331 @@
+"""RPL102 — ticks/seconds unit consistency.
+
+``repro.core`` does exact integer arithmetic on a 2^48-tick ring while
+the simulator and metrics layers speak float seconds.  A tick count that
+leaks into a latency average (or a seconds value into interval math)
+does not crash — it silently skews shares and breaks the half-occupancy
+invariant in ways that only statistical tests notice.
+
+Units come from a lightweight annotation convention (``repro.units``):
+any parameter, attribute, or return annotated ``Seconds`` or ``Ticks``
+(optionally inside ``list[...]``/``dict[..., ...]``) seeds a unit atom;
+the shared data-flow engine then carries units through assignments,
+attributes, calls, and returns.  The rule fires only on *definite*
+mismatches — both operands resolve to exactly one unit and the units
+differ — on four site kinds:
+
+- ``+``/``-`` arithmetic mixing seconds with ticks,
+- comparisons between seconds and ticks,
+- arguments whose units contradict the callee's annotation (this is the
+  cross-function check), and
+- returned values contradicting the declared return annotation.
+
+Multiplication and division *erase* units (a tick/tick ratio is a
+fraction; ``seconds * RESOLUTION`` is a deliberate conversion), except
+that scaling by a literal constant preserves the other operand's unit.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..diagnostics import Diagnostic
+from ..rules import FlowRule, dotted_name, register
+from .dataflow import (
+    Atom,
+    Lattice,
+    SymbolicEvaluator,
+    container,
+    finalize,
+    run_evaluators,
+    unit,
+)
+from .symbols import Project
+
+#: The annotation convention: these names carry a unit wherever they
+#: appear (canonically defined in ``repro.units``).
+UNIT_NAMES = {"Seconds": "sec", "Ticks": "tick"}
+
+_SEQUENCES = frozenset(
+    {"list", "List", "tuple", "Tuple", "set", "Set", "frozenset", "deque",
+     "Sequence", "Iterable", "Iterator", "Collection"}
+)
+_MAPPINGS = frozenset(
+    {"dict", "Dict", "Mapping", "MutableMapping", "defaultdict", "Counter",
+     "OrderedDict"}
+)
+
+#: Builtins that preserve the unit of their argument(s).
+_UNIT_PRESERVING = frozenset({"int", "float", "abs", "round", "min", "max"})
+#: Builtins that reduce a container to an element-unit value.
+_UNIT_REDUCING = frozenset({"sum", "min", "max", "sorted"})
+
+
+def unit_of_annotation(ann: ast.expr | None) -> Atom | None:
+    """The unit atom an annotation implies, or None.
+
+    ``Seconds`` -> sec; ``Optional[Ticks]``/``Ticks | None`` -> tick;
+    ``list[Ticks]`` -> container(tick); ``dict[str, Seconds]`` ->
+    container(sec) (the *values* carry the unit).
+    """
+    if ann is None:
+        return None
+    if isinstance(ann, ast.Constant) and isinstance(ann.value, str):
+        try:
+            ann = ast.parse(ann.value, mode="eval").body
+        except SyntaxError:
+            return None
+    if isinstance(ann, ast.BinOp) and isinstance(ann.op, ast.BitOr):
+        return unit_of_annotation(ann.left) or unit_of_annotation(ann.right)
+    if isinstance(ann, ast.Subscript):
+        chain = dotted_name(ann.value)
+        if not chain:
+            return None
+        head = chain[-1]
+        if head in {"Optional", "Final", "Annotated", "ClassVar"}:
+            inner = ann.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            return unit_of_annotation(inner)
+        if head in _SEQUENCES:
+            inner = ann.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[0]
+            found = unit_of_annotation(inner)
+            if found is not None and found.kind == "unit":
+                return container(found.key[0])
+            return None
+        if head in _MAPPINGS:
+            inner = ann.slice
+            if isinstance(inner, ast.Tuple) and inner.elts:
+                inner = inner.elts[-1]
+            found = unit_of_annotation(inner)
+            if found is not None and found.kind == "unit":
+                return container(found.key[0])
+            return None
+        return None
+    chain = dotted_name(ann)
+    if chain and chain[-1] in UNIT_NAMES:
+        return unit(UNIT_NAMES[chain[-1]])
+    return None
+
+
+def _only_unit(resolved) -> str | None:
+    """The single definite unit of a resolved atom set, or None."""
+    units = {a.key[0] for a in resolved if a.kind == "unit"}
+    return next(iter(units)) if len(units) == 1 else None
+
+
+_NAME = {"sec": "seconds", "tick": "ticks"}
+
+
+class _UnitsEvaluator(SymbolicEvaluator):
+    """Adds unit semantics and records the sites RPL102 checks."""
+
+    def __init__(self, analysis: "UnitConsistency", *args) -> None:
+        super().__init__(*args)
+        self.analysis = analysis
+
+    def seed_annotation(self, annotation):
+        found = unit_of_annotation(annotation)
+        if found is not None:
+            return {found}
+        return super().seed_annotation(annotation)
+
+    def eval_binop(self, node, left, right):
+        if isinstance(node.op, (ast.Add, ast.Sub)):
+            self.analysis.record_pair(node, left, right, self, "arithmetic")
+            return left | right
+        if isinstance(node.op, (ast.Mult, ast.Div, ast.FloorDiv, ast.Mod)):
+            # Scaling by a literal keeps the unit; anything else erases
+            # it (ratios and conversions are unit changes by design).
+            if isinstance(node.right, ast.Constant):
+                return left
+            if isinstance(node.left, ast.Constant):
+                return right
+            return set()
+        return set()
+
+    def on_compare(self, node, left, rights):
+        if any(
+            isinstance(op, (ast.Lt, ast.LtE, ast.Gt, ast.GtE, ast.Eq, ast.NotEq))
+            for op in node.ops
+        ):
+            for right in rights:
+                self.analysis.record_pair(node, left, right, self, "comparison")
+
+    def wrap_elements(self, atoms):
+        out = set()
+        for atom in atoms:
+            if atom.kind == "unit":
+                out.add(container(atom.key[0]))
+            else:
+                out.add(atom)
+        return out
+
+    def eval_iter_element(self, iter_atoms):
+        return {unit(a.key[0]) for a in iter_atoms if a.kind == "container"}
+
+    def eval_subscript(self, node, base):
+        out = set()
+        for atom in base:
+            if atom.kind == "container":
+                out.add(unit(atom.key[0]))
+            else:
+                out.add(atom)
+        return out
+
+    def special_call(self, node, chain, recv_atoms, args, kwargs):
+        if len(chain) == 1 and chain[0] in (_UNIT_PRESERVING | _UNIT_REDUCING):
+            out: set[Atom] = set()
+            for atoms in args:
+                for atom in atoms:
+                    if atom.kind == "container":
+                        out.add(unit(atom.key[0]))
+                    else:
+                        out.add(atom)
+            return out
+        if isinstance(node.func, ast.Attribute) and node.func.attr in {
+            "values", "keys", "items", "copy"
+        }:
+            # Mapping views keep the container's element unit.
+            return set(recv_atoms)
+        # Seconds(x) / Ticks(x): the NewType constructor asserts a unit.
+        if len(chain) == 1 and chain[0] in UNIT_NAMES:
+            return {unit(UNIT_NAMES[chain[0]])}
+        return None
+
+    def on_bound_call(self, node, qualname, fn, args, kwargs, offset):
+        params = [*fn.args.posonlyargs, *fn.args.args]
+        for index, atoms in enumerate(args):
+            slot = index + offset
+            if slot < len(params):
+                expected = unit_of_annotation(params[slot].annotation)
+                if expected is not None and expected.kind == "unit":
+                    self.analysis.record_arg(
+                        node, qualname, params[slot].arg, expected.key[0],
+                        atoms, self,
+                    )
+        by_name = {a.arg: a for a in [*params, *fn.args.kwonlyargs]}
+        for name, atoms in kwargs.items():
+            arg = by_name.get(name)
+            if arg is None:
+                continue
+            expected = unit_of_annotation(arg.annotation)
+            if expected is not None and expected.kind == "unit":
+                self.analysis.record_arg(
+                    node, qualname, name, expected.key[0], atoms, self
+                )
+
+    def on_return(self, node, atoms):
+        if self.fn is None:
+            return
+        declared = unit_of_annotation(self.fn.returns)
+        if declared is not None and declared.kind == "unit":
+            self.analysis.record_return(
+                node, self.qualname, declared.key[0], atoms, self
+            )
+
+
+@register
+class UnitConsistency(FlowRule):
+    """Simulated-seconds and ring-tick values must not mix.
+
+    The reproduction keeps two clocks: float seconds in the event engine
+    and exact 2^48-ring ticks in ``repro.core``.  Mixing them type-checks
+    (both are numbers) and runs, but silently corrupts shares, latencies,
+    or boundary arithmetic.  Signatures annotated with ``Seconds`` /
+    ``Ticks`` from ``repro.units`` declare which clock a value belongs
+    to; this rule propagates those units through the whole program and
+    flags definite cross-unit ``+``/``-``/comparisons, call arguments
+    contradicting the callee's annotation, and returns contradicting the
+    declared return type.  Convert explicitly at the boundary instead
+    (multiply/divide by a resolution constant — ``*``/``/`` erase units
+    by design).
+    """
+
+    id = "RPL102"
+    title = "time-unit consistency: don't mix Seconds with Ticks"
+    hint = (
+        "convert at the boundary (e.g. fractions of RESOLUTION) or fix "
+        "the Seconds/Ticks annotation that is wrong"
+    )
+
+    def __init__(self, project: Project) -> None:
+        super().__init__(project)
+        #: (path, line, col, kind) -> site record (dedup across 2-pass loops).
+        self.pairs: dict[tuple, dict] = {}
+        self.args: dict[tuple, dict] = {}
+        self.returns: dict[tuple, dict] = {}
+
+    # -- collection hooks ---------------------------------------------
+    def record_pair(self, node, left, right, ev, kind: str) -> None:
+        """Remember a two-operand site (arithmetic or comparison)."""
+        key = (ev.module.ctx.path, node.lineno, node.col_offset, kind)
+        site = self.pairs.setdefault(
+            key, {"left": set(), "right": set(), "kind": kind}
+        )
+        site["left"] |= left
+        site["right"] |= right
+
+    def record_arg(self, node, qualname, arg_name, expected, atoms, ev) -> None:
+        """Remember an argument site with the parameter's declared unit."""
+        key = (ev.module.ctx.path, node.lineno, node.col_offset, arg_name)
+        site = self.args.setdefault(
+            key, {"callee": qualname, "expected": expected, "atoms": set()}
+        )
+        site["atoms"] |= atoms
+
+    def record_return(self, node, qualname, declared, atoms, ev) -> None:
+        """Remember a return site with the function's declared unit."""
+        key = (ev.module.ctx.path, node.lineno, node.col_offset, "return")
+        site = self.returns.setdefault(
+            key, {"func": qualname, "declared": declared, "atoms": set()}
+        )
+        site["atoms"] |= atoms
+
+    # -- analysis ------------------------------------------------------
+    def run(self) -> list[Diagnostic]:
+        lattice = Lattice()
+        run_evaluators(
+            self.project,
+            lambda module, qualname, fn, owner: _UnitsEvaluator(
+                self, self.project, lattice, module, qualname, fn, owner
+            ),
+        )
+        finalize(lattice)
+        for key in sorted(self.pairs):
+            path, line, col, kind = key
+            site = self.pairs[key]
+            left = _only_unit(lattice.resolve(site["left"]))
+            right = _only_unit(lattice.resolve(site["right"]))
+            if left is not None and right is not None and left != right:
+                self.report(
+                    path, line, col,
+                    f"{kind} mixes {_NAME[left]} (left) with {_NAME[right]} "
+                    f"(right)",
+                )
+        for key in sorted(self.args):
+            path, line, col, arg_name = key
+            site = self.args[key]
+            got = _only_unit(lattice.resolve(site["atoms"]))
+            if got is not None and got != site["expected"]:
+                self.report(
+                    path, line, col,
+                    f"argument '{arg_name}' of {site['callee']} expects "
+                    f"{_NAME[site['expected']]} but receives {_NAME[got]}",
+                )
+        for key in sorted(self.returns):
+            path, line, col, _ = key
+            site = self.returns[key]
+            got = _only_unit(lattice.resolve(site["atoms"]))
+            if got is not None and got != site["declared"]:
+                self.report(
+                    path, line, col,
+                    f"{site['func']} declares {_NAME[site['declared']]} but "
+                    f"returns {_NAME[got]} (unconverted)",
+                )
+        return sorted(self.diagnostics)
+
+
+__all__ = ["UnitConsistency", "unit_of_annotation", "UNIT_NAMES"]

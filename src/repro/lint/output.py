@@ -1,0 +1,116 @@
+"""Machine-readable output for ``repro-lint``: JSON and SARIF 2.1.0.
+
+The SARIF document is what CI uploads so findings surface as pull-request
+annotations (``github/codeql-action/upload-sarif``).  Only the subset of
+SARIF the GitHub code-scanning ingester reads is emitted: one run, one
+tool driver with the rule catalogue, and one result per diagnostic with
+a physical location.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, Sequence
+
+from .diagnostics import Diagnostic
+from .rules import REGISTRY
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
+_INFO_URI = "https://github.com/repro/handling-heterogeneity"
+
+
+def to_json(diagnostics: Sequence[Diagnostic]) -> str:
+    """The findings as a JSON array of objects (stable key order)."""
+    rows = [
+        {
+            "path": d.path,
+            "line": d.line,
+            "col": d.col,
+            "rule_id": d.rule_id,
+            "message": d.message,
+            "hint": d.hint,
+        }
+        for d in diagnostics
+    ]
+    return json.dumps(rows, indent=2)
+
+
+def _sarif_rules(rule_ids: Iterable[str]) -> list[dict]:
+    rules = []
+    for rule_id in sorted(set(rule_ids)):
+        rule_cls = REGISTRY.get(rule_id)
+        if rule_cls is None:
+            rules.append({"id": rule_id})
+            continue
+        rules.append(
+            {
+                "id": rule_id,
+                "name": rule_cls.__name__,
+                "shortDescription": {"text": rule_cls.title},
+                "fullDescription": {
+                    "text": " ".join((rule_cls.__doc__ or "").split())
+                },
+                "help": {"text": f"fix: {rule_cls.hint}"},
+                "defaultConfiguration": {"level": "warning"},
+            }
+        )
+    return rules
+
+
+def to_sarif(diagnostics: Sequence[Diagnostic]) -> str:
+    """The findings as a SARIF 2.1.0 document (one run)."""
+    results = [
+        {
+            "ruleId": d.rule_id,
+            "level": "warning",
+            "message": {
+                "text": d.message + (f" [fix: {d.hint}]" if d.hint else "")
+            },
+            "locations": [
+                {
+                    "physicalLocation": {
+                        "artifactLocation": {
+                            "uri": d.path.replace("\\", "/"),
+                            "uriBaseId": "%SRCROOT%",
+                        },
+                        "region": {
+                            "startLine": d.line,
+                            # SARIF columns are 1-based; ast's are 0-based.
+                            "startColumn": d.col + 1,
+                        },
+                    }
+                }
+            ],
+        }
+        for d in diagnostics
+    ]
+    document = {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": _INFO_URI,
+                        "rules": _sarif_rules(
+                            sorted({d.rule_id for d in diagnostics})
+                            or sorted(REGISTRY)
+                        ),
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+    return json.dumps(document, indent=2)
+
+
+def render(diagnostics: Sequence[Diagnostic], fmt: str) -> str:
+    """The findings in ``fmt`` (``text``/``json``/``sarif``)."""
+    if fmt == "json":
+        return to_json(diagnostics)
+    if fmt == "sarif":
+        return to_sarif(diagnostics)
+    return "\n".join(d.render() for d in diagnostics)

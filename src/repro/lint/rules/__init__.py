@@ -16,6 +16,12 @@ Rule catalogue
 - ``RPL007`` — mutable default argument
 - ``RPL008`` — bare ``except:``
 - ``RPL009`` — ``global`` statement in production code
+
+Interprocedural (flow) rules — see :mod:`repro.lint.flow`:
+
+- ``RPL101`` — RNG-stream provenance across function/class boundaries
+- ``RPL102`` — ticks/seconds unit consistency across calls and returns
+- ``RPL103`` — mutation of contract-protected state outside mutators
 """
 
 from __future__ import annotations
@@ -24,11 +30,12 @@ import ast
 
 from ..diagnostics import Diagnostic
 
-#: ID -> rule class, populated by :func:`register`.
-REGISTRY: dict[str, type["Rule"]] = {}
+#: ID -> rule class (per-file ``Rule`` and whole-program ``FlowRule``),
+#: populated by :func:`register`.
+REGISTRY: dict[str, type] = {}
 
 
-def register(rule_cls: type["Rule"]) -> type["Rule"]:
+def register(rule_cls):
     """Class decorator: add ``rule_cls`` to the registry (IDs unique)."""
     if not rule_cls.id:
         raise ValueError(f"rule {rule_cls.__name__} has no id")
@@ -39,8 +46,21 @@ def register(rule_cls: type["Rule"]) -> type["Rule"]:
 
 
 def all_rules() -> list[type["Rule"]]:
-    """Every registered rule class, sorted by ID."""
-    return [REGISTRY[rule_id] for rule_id in sorted(REGISTRY)]
+    """Every registered per-file rule class, sorted by ID."""
+    return [
+        REGISTRY[rule_id]
+        for rule_id in sorted(REGISTRY)
+        if issubclass(REGISTRY[rule_id], Rule)
+    ]
+
+
+def all_flow_rules() -> list[type["FlowRule"]]:
+    """Every registered whole-program rule class, sorted by ID."""
+    return [
+        REGISTRY[rule_id]
+        for rule_id in sorted(REGISTRY)
+        if issubclass(REGISTRY[rule_id], FlowRule)
+    ]
 
 
 class Rule(ast.NodeVisitor):
@@ -77,6 +97,46 @@ class Rule(ast.NodeVisitor):
         )
 
 
+class FlowRule:
+    """Base class for whole-program (interprocedural) lint rules.
+
+    A flow rule receives a :class:`~repro.lint.flow.symbols.Project`
+    (every package file of the run, with symbol tables) and returns its
+    findings from :meth:`run`.  Unlike per-file rules there is no
+    visitor protocol: each analysis drives the shared data-flow engine
+    in :mod:`repro.lint.flow.dataflow` however it needs to.
+    """
+
+    #: Stable rule identifier, e.g. ``"RPL101"``.
+    id: str = ""
+    #: One-line summary shown by ``repro-lint --list-rules``.
+    title: str = ""
+    #: Autofix hint appended to every diagnostic.
+    hint: str = ""
+
+    def __init__(self, project) -> None:
+        """``project`` is a :class:`~repro.lint.flow.symbols.Project`."""
+        self.project = project
+        self.diagnostics: list[Diagnostic] = []
+
+    def run(self) -> list[Diagnostic]:
+        """Analyze the project; returns (and stores) the findings."""
+        raise NotImplementedError
+
+    def report(self, path: str, line: int, col: int, message: str) -> None:
+        """Record a finding at an explicit location."""
+        self.diagnostics.append(
+            Diagnostic(
+                path=path,
+                line=line,
+                col=col,
+                rule_id=self.id,
+                message=message,
+                hint=self.hint,
+            )
+        )
+
+
 def dotted_name(node: ast.AST) -> tuple[str, ...]:
     """The dotted chain of an attribute/name expression, outermost first.
 
@@ -93,5 +153,8 @@ def dotted_name(node: ast.AST) -> tuple[str, ...]:
     return ()
 
 
-# Import rule modules for their registration side effects.
+# Import rule modules for their registration side effects.  The flow
+# modules import back into this package (FlowRule, dotted_name), which is
+# safe because everything they need is defined above this line.
 from . import arithmetic, determinism, hygiene  # noqa: E402,F401
+from ..flow import mutation, rng_provenance, units  # noqa: E402,F401

@@ -65,8 +65,8 @@ class FloatEquality(Rule):
 
     @classmethod
     def applies_to(cls, ctx) -> bool:
-        """Production code only (tests may assert exact floats on purpose)."""
-        return ctx.in_package
+        """Everywhere; the tree policy exempts tests (exact floats on purpose)."""
+        return True
 
     def visit_Compare(self, node: ast.Compare) -> None:
         """Flag Eq/NotEq comparisons with float-typed operand forms."""

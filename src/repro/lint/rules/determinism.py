@@ -48,8 +48,8 @@ class NoWallClockOrGlobalRandom(Rule):
 
     @classmethod
     def applies_to(cls, ctx) -> bool:
-        """Production code only; the RNG module itself is exempt."""
-        return ctx.in_package and not ctx.is_rng_module
+        """Everywhere the tree policy allows; sim/rng.py itself is exempt."""
+        return not ctx.is_rng_module
 
     def visit_Import(self, node: ast.Import) -> None:
         """Flag ``import random`` / ``import secrets``."""
@@ -97,8 +97,8 @@ class RngOutsideStreamFactory(Rule):
 
     @classmethod
     def applies_to(cls, ctx) -> bool:
-        """Production code only; the RNG module itself is exempt."""
-        return ctx.in_package and not ctx.is_rng_module
+        """Everywhere the tree policy allows; sim/rng.py itself is exempt."""
+        return not ctx.is_rng_module
 
     def visit_Call(self, node: ast.Call) -> None:
         """Flag any ``np.random.*()`` / ``numpy.random.*()`` call."""

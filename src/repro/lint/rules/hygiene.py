@@ -102,8 +102,8 @@ class GlobalMutation(Rule):
 
     @classmethod
     def applies_to(cls, ctx) -> bool:
-        """Production code only (test fixtures occasionally use globals)."""
-        return ctx.in_package
+        """Everywhere; the tree policy relaxes this for test fixtures."""
+        return True
 
     def visit_Global(self, node: ast.Global) -> None:
         """Flag every ``global`` statement."""

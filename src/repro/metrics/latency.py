@@ -19,13 +19,14 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..core.tuning import ServerReport
+from ..units import Seconds
 
 
 @dataclass
 class LatencySeries:
     """A per-server windowed latency series (one figure panel)."""
 
-    window: float
+    window: Seconds
     #: Window-start times (seconds).
     times: np.ndarray
     #: server -> mean latency per window (NaN-free: empty windows are 0).
@@ -67,7 +68,9 @@ class LatencyCollector:
         """Register a server so it appears in series even if idle."""
         self._samples.setdefault(server, [])
 
-    def record(self, server: str, completion_time: float, latency: float) -> None:
+    def record(
+        self, server: str, completion_time: Seconds, latency: Seconds
+    ) -> None:
         """Add one (completion time, latency) sample."""
         if latency < 0:
             raise ValueError(f"negative latency {latency!r}")
@@ -75,7 +78,7 @@ class LatencyCollector:
 
     # ------------------------------------------------------------------
     def interval_report(
-        self, server: str, start: float, end: float
+        self, server: str, start: Seconds, end: Seconds
     ) -> ServerReport:
         """Mean latency and count for completions in [start, end)."""
         samples = self._samples.get(server, [])
@@ -90,12 +93,14 @@ class LatencyCollector:
         mean = total / count if count else 0.0
         return ServerReport(name=server, mean_latency=mean, request_count=count)
 
-    def reports(self, servers: list[str], start: float, end: float) -> list[ServerReport]:
+    def reports(
+        self, servers: list[str], start: Seconds, end: Seconds
+    ) -> list[ServerReport]:
         """Interval reports for every listed server (absent servers report 0)."""
         return [self.interval_report(s, start, end) for s in servers]
 
     # ------------------------------------------------------------------
-    def series(self, duration: float, window: float) -> LatencySeries:
+    def series(self, duration: Seconds, window: Seconds) -> LatencySeries:
         """Bin all samples into fixed windows covering [0, duration)."""
         if window <= 0 or duration <= 0:
             raise ValueError("window and duration must be positive")
@@ -134,9 +139,9 @@ class LatencyCollector:
         self,
         q: float,
         server: str | None = None,
-        start: float = 0.0,
-        end: float = float("inf"),
-    ) -> float:
+        start: Seconds = Seconds(0.0),
+        end: Seconds = Seconds(float("inf")),
+    ) -> Seconds:
         """The q-th latency percentile (q in [0, 100]) over [start, end).
 
         ``server=None`` pools samples from every server — the system-wide

@@ -16,14 +16,15 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable
 
+from ..units import Seconds
 from .events import PRIORITY_NORMAL, Event, SimulationError
 
 
 class Engine:
     """The simulation clock and event calendar."""
 
-    def __init__(self, start_time: float = 0.0) -> None:
-        self._now = float(start_time)
+    def __init__(self, start_time: Seconds = Seconds(0.0)) -> None:
+        self._now = Seconds(float(start_time))
         self._calendar: list[Event] = []
         self._running = False
         self._events_fired = 0
@@ -32,7 +33,7 @@ class Engine:
     # Clock
     # ------------------------------------------------------------------
     @property
-    def now(self) -> float:
+    def now(self) -> Seconds:
         """Current simulated time (seconds, by convention)."""
         return self._now
 
@@ -51,7 +52,7 @@ class Engine:
     # ------------------------------------------------------------------
     def schedule(
         self,
-        delay: float,
+        delay: Seconds,
         action: Callable[..., None],
         *args: Any,
         priority: int = PRIORITY_NORMAL,
@@ -63,7 +64,7 @@ class Engine:
 
     def schedule_at(
         self,
-        time: float,
+        time: Seconds,
         action: Callable[..., None],
         *args: Any,
         priority: int = PRIORITY_NORMAL,
@@ -92,7 +93,9 @@ class Engine:
             return True
         return False
 
-    def run(self, until: float | None = None, max_events: int | None = None) -> float:
+    def run(
+        self, until: Seconds | None = None, max_events: int | None = None
+    ) -> Seconds:
         """Run until the calendar drains, ``until`` is reached, or
         ``max_events`` have fired.  Returns the final clock value.
 

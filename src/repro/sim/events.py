@@ -17,6 +17,8 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
+from ..units import Seconds
+
 
 #: Default priority for ordinary events.
 PRIORITY_NORMAL = 0
@@ -40,7 +42,7 @@ class Event:
     deterministic.
     """
 
-    time: float
+    time: Seconds
     priority: int
     seq: int = field(init=False)
     action: Callable[..., None] = field(compare=False)
