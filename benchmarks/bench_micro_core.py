@@ -56,6 +56,24 @@ def test_set_shares_cost(benchmark, n_servers):
     interval.check_invariants()
 
 
+@pytest.mark.parametrize("n_servers", [20, 80])
+def test_segments_query_cost(benchmark, n_servers):
+    """Repeated mapped-region reads on a static interval (monitor path)."""
+    servers = [f"s{i}" for i in range(n_servers)]
+    interval = MappedInterval(
+        servers, {s: 1.0 + (i % 7) for i, s in enumerate(servers)}
+    )
+    benchmark.extra_info["n_servers"] = n_servers
+
+    def query_all():
+        total = 0
+        for s in servers:
+            total += len(interval.segments(s))
+        return total
+
+    benchmark(query_all)
+
+
 def test_add_remove_server_cost(benchmark):
     interval = MappedInterval([f"s{i}" for i in range(10)])
 

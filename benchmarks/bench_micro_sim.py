@@ -38,6 +38,66 @@ def test_chained_event_throughput(benchmark):
     benchmark(run_chain)
 
 
+def test_cancellation_heavy_timeout_pattern(benchmark):
+    """Schedule-then-cancel churn (the timeout-guard pattern).
+
+    Every request posts a far-future timeout and immediately cancels it
+    on completion; the calendar must not accumulate the corpses.
+    """
+
+    def run_timeouts():
+        engine = Engine()
+
+        def pump(n):
+            guard = engine.schedule(10_000.0, lambda: None)
+            guard.cancel()
+            if n > 0:
+                engine.schedule(1.0, pump, n - 1)
+
+        engine.schedule(0.0, pump, 2000)
+        engine.run()
+        return engine.pending
+
+    benchmark(run_timeouts)
+
+
+def test_latency_tail_summary_cost(benchmark):
+    """p50/p95/p99/max over a 50k-sample pool (the post-run report path)."""
+    from repro.metrics.latency import LatencyCollector
+
+    collector = LatencyCollector()
+    for i in range(50_000):
+        # Deterministic pseudo-latencies: low-discrepancy in (0, 1).
+        lat = ((i * 2654435761) % 1_000_003) / 1_000_003.0
+        collector.record(f"s{i % 8}", float(i) * 0.01, lat)
+
+    def summarize():
+        pooled = collector.tail_summary()
+        per_server = collector.tail_summary("s3")
+        return pooled, per_server
+
+    benchmark(summarize)
+
+
+def test_latency_window_report_cost(benchmark):
+    """Per-server windowed interval reports (the delegate's read path)."""
+    from repro.metrics.latency import LatencyCollector
+
+    collector = LatencyCollector()
+    servers = [f"s{i}" for i in range(8)]
+    for i in range(50_000):
+        lat = ((i * 2654435761) % 1_000_003) / 1_000_003.0
+        collector.record(servers[i % 8], float(i) * 0.01, lat)
+    state = {"window": 0}
+
+    def report_window():
+        state["window"] = (state["window"] + 1) % 40
+        start = 10.0 * state["window"]
+        return collector.reports(servers, start, start + 10.0)
+
+    benchmark(report_window)
+
+
 def test_facility_queueing_throughput(benchmark):
     """Request->serve->complete cycles through a FIFO facility."""
 

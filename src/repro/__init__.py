@@ -43,6 +43,9 @@ Subpackages
 ``repro.proto``
     The §4 control plane as a message protocol: election, heartbeats,
     versioned configuration distribution.
+``repro.bench``
+    Persistent benchmark-regression harness (the ``repro-bench`` CLI):
+    median-of-k timing, schema-versioned reports, baseline gating.
 """
 
 from .core import (

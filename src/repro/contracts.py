@@ -114,9 +114,10 @@ def checks_invariants(method: _F) -> _F:
     def wrapper(self: Any, *args: Any, **kwargs: Any) -> Any:
         result = method(self, *args, **kwargs)
         if _enabled:
-            validate = getattr(self, "check_invariants", None)
-            if validate is None:
-                validate = self.check_consistency
+            # Single attribute probe on the hot path; validators may lean
+            # on generation-counter caches of derived state (e.g. the
+            # interval's segments cache) to keep re-validation cheap.
+            validate = getattr(self, "check_invariants", None) or self.check_consistency
             try:
                 validate()
             except ContractViolation:

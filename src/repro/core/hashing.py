@@ -20,9 +20,13 @@ The family must be:
 from __future__ import annotations
 
 import hashlib
+import math
 from typing import Sequence
 
 _TWO_64 = float(2**64)
+
+#: Largest double below 1.0 — the clamp ceiling for unit-interval points.
+_MAX_UNIT = math.nextafter(1.0, 0.0)
 
 
 def hash64(name: str, round_: int, namespace: str = "anu") -> int:
@@ -35,8 +39,20 @@ def hash64(name: str, round_: int, namespace: str = "anu") -> int:
 
 
 def hash_to_unit(name: str, round_: int, namespace: str = "anu") -> float:
-    """Map ``name`` to a point in [0, 1) for probe round ``round_``."""
-    return hash64(name, round_, namespace) / _TWO_64
+    """Map ``name`` to a point in [0, 1) for probe round ``round_``.
+
+    The raw ``hash64 / 2**64`` quotient is *not* guaranteed to stay below
+    1.0: doubles have 53 significant bits, so every digest in the top
+    ``2**10`` values of the 64-bit range (within half an ULP of ``2**64``)
+    rounds up and divides to exactly 1.0 — roughly one name per ``2**54``
+    probes.  :meth:`repro.core.interval.MappedInterval.locate_point`
+    requires points in the half-open ``[0, 1)``, so the quotient is
+    clamped to the largest double below 1.0.  The clamp only moves those
+    astronomically rare top-of-range digests (by one ULP), leaving every
+    other probe value bit-identical.
+    """
+    point = hash64(name, round_, namespace) / _TWO_64
+    return point if point < 1.0 else _MAX_UNIT
 
 
 def hash_to_choice(name: str, round_: int, n: int, namespace: str = "anu") -> int:

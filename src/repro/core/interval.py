@@ -134,6 +134,14 @@ class MappedInterval:
         self._full: dict[str, set[int]] = {name: set() for name in names}
         self._partial: dict[str, tuple[int, int] | None] = {name: None for name in names}
         self._shares: dict[str, int] = {name: 0 for name in names}
+        # Mutation epoch for the segments() cache: every operation that can
+        # move a region boundary bumps it, so cached segment lists are
+        # reused only while the mapping is provably unchanged.  Invariant
+        # checks (the @preserves capture on repartition, monitoring reads)
+        # therefore stop rebuilding the full segment map on every call.
+        self._generation = 0
+        self._segments_cache: dict[str, list[Segment]] = {}
+        self._segments_gen = -1
         if shares is None:
             shares = {name: 1.0 for name in names}
         self.set_shares(shares)
@@ -177,7 +185,24 @@ class MappedInterval:
         return [i for i in range(self._p) if self._owner[i] is None]
 
     def segments(self, name: str) -> list[Segment]:
-        """The mapped region of ``name`` as merged float segments."""
+        """The mapped region of ``name`` as merged float segments.
+
+        Cached per mutation generation: repeated reads between mutations
+        (invariant captures, monitors, figure rendering) reuse the built
+        list instead of re-merging the partition map.  The returned list
+        is a fresh copy; callers may do with it as they please.
+        """
+        if self._segments_gen != self._generation:
+            self._segments_cache.clear()
+            self._segments_gen = self._generation
+        cached = self._segments_cache.get(name)
+        if cached is None:
+            cached = self._build_segments(name)
+            self._segments_cache[name] = cached
+        return list(cached)
+
+    def _build_segments(self, name: str) -> list[Segment]:
+        """Merge ``name``'s partitions into float segments (uncached)."""
         psize = self.partition_ticks
         raw: list[tuple[int, int]] = []
         for idx in self._full[name]:
@@ -199,7 +224,16 @@ class MappedInterval:
     # Lookup
     # ------------------------------------------------------------------
     def locate_point(self, x: float) -> str | None:
-        """The server whose mapped region contains point ``x``, else None."""
+        """The server whose mapped region contains point ``x``, else None.
+
+        The domain is the half-open ``[0, 1)``; ``x == 1.0`` is rejected.
+        Hash-derived probe points satisfy this by construction —
+        :func:`repro.core.hashing.hash_to_unit` clamps its quotient below
+        1.0 (see its docstring for why the raw division can round up) —
+        and for any ``x <= 1 - 2**-53`` the tick product ``x * RESOLUTION``
+        is exact (both factors are powers-of-two scalings of <=53-bit
+        integers), so the computed tick always stays below ``RESOLUTION``.
+        """
         if not 0.0 <= x < 1.0:
             raise IntervalError(f"point {x!r} outside [0, 1)")
         tick = int(x * RESOLUTION)
@@ -240,12 +274,18 @@ class MappedInterval:
             if delta > 0:
                 self._grow(name, delta)
 
+    def _mutated(self) -> None:
+        """Invalidate cached derived state (the segments cache)."""
+        self._generation += 1
+
     def _release_partition(self, name: str, idx: int) -> None:
+        self._mutated()
         self._owner[idx] = None
         self._prefix[idx] = 0
         self._full[name].discard(idx)
 
     def _shrink(self, name: str, delta: int) -> None:
+        self._mutated()
         psize = self.partition_ticks
         partial = self._partial[name]
         if partial is not None:
@@ -282,6 +322,7 @@ class MappedInterval:
             self._shares[name] -= delta
 
     def _grow(self, name: str, delta: int) -> None:
+        self._mutated()
         psize = self.partition_ticks
         partial = self._partial[name]
         if partial is not None:
@@ -331,6 +372,7 @@ class MappedInterval:
         """
         if name in self._shares:
             raise IntervalError(f"server {name!r} already present")
+        self._mutated()
         n_new = self.n_servers + 1
         while self._p < 2 * (n_new + 1):
             self.repartition()
@@ -358,6 +400,7 @@ class MappedInterval:
             raise IntervalError(f"unknown server {name!r}")
         if self.n_servers == 1:
             raise IntervalError("cannot remove the last server")
+        self._mutated()
         for idx in list(self._full[name]):
             self._release_partition(name, idx)
         partial = self._partial[name]
@@ -376,6 +419,7 @@ class MappedInterval:
     )
     def repartition(self) -> None:
         """Split every partition in half (p doubles); moves no boundary."""
+        self._mutated()
         old_p = self._p
         psize_new = RESOLUTION // (old_p * 2)
         owner_new: list[str | None] = [None] * (old_p * 2)

@@ -9,6 +9,14 @@ with :meth:`Engine.run`.
 Determinism: events at equal time fire in (priority, insertion order); all
 randomness in models must come from seeded generators (:mod:`repro.sim.rng`),
 so a simulation is a pure function of its configuration and seed.
+
+Cancellation is lazy (a cancelled event stays heaped until popped) but
+*accounted*: the engine tracks the number of cancelled entries still on
+the calendar, so :attr:`Engine.pending` reports live events exactly, and
+the calendar is compacted — cancelled corpses dropped, heap rebuilt —
+whenever they outnumber the live entries.  Timeout-guard workloads that
+schedule and immediately cancel far-future events therefore keep the
+heap (and every ``heappush`` after them) small.
 """
 
 from __future__ import annotations
@@ -23,11 +31,18 @@ from .events import PRIORITY_NORMAL, Event, SimulationError
 class Engine:
     """The simulation clock and event calendar."""
 
+    __slots__ = ("_now", "_calendar", "_running", "_events_fired", "_cancelled")
+
+    #: Calendars smaller than this are never compacted (rebuild churn guard).
+    _COMPACT_MIN = 64
+
     def __init__(self, start_time: Seconds = Seconds(0.0)) -> None:
         self._now = Seconds(float(start_time))
         self._calendar: list[Event] = []
         self._running = False
         self._events_fired = 0
+        #: Cancelled events still sitting on the calendar.
+        self._cancelled = 0
 
     # ------------------------------------------------------------------
     # Clock
@@ -44,8 +59,8 @@ class Engine:
 
     @property
     def pending(self) -> int:
-        """Number of events still on the calendar (including cancelled)."""
-        return len(self._calendar)
+        """Number of *live* (non-cancelled) events still on the calendar."""
+        return len(self._calendar) - self._cancelled
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -74,7 +89,9 @@ class Engine:
             raise SimulationError(
                 f"cannot schedule at t={time!r} before now={self._now!r}"
             )
-        event = Event(time=time, priority=priority, action=action, args=args)
+        event = Event(
+            time=time, priority=priority, action=action, args=args, engine=self
+        )
         heapq.heappush(self._calendar, event)
         return event
 
@@ -86,7 +103,11 @@ class Engine:
         while self._calendar:
             event = heapq.heappop(self._calendar)
             if event.cancelled:
+                self._cancelled -= 1
                 continue
+            # Detach before firing: a late cancel() on an already-fired
+            # event must not perturb the live count.
+            event.engine = None
             self._now = event.time
             self._events_fired += 1
             event.fire()
@@ -130,10 +151,36 @@ class Engine:
             head = self._calendar[0]
             if head.cancelled:
                 heapq.heappop(self._calendar)
+                self._cancelled -= 1
                 continue
             return head
         return None
 
     def drain(self) -> None:
         """Discard all pending events (used by tests and teardown)."""
+        for event in self._calendar:
+            event.engine = None
         self._calendar.clear()
+        self._cancelled = 0
+
+    # ------------------------------------------------------------------
+    # Cancellation accounting (called by Event.cancel)
+    # ------------------------------------------------------------------
+    def _note_cancelled(self) -> None:
+        """Record one cancellation; compact when corpses dominate the heap."""
+        self._cancelled += 1
+        size = len(self._calendar)
+        if size >= self._COMPACT_MIN and self._cancelled * 2 > size:
+            self._compact()
+
+    def _compact(self) -> None:
+        """Drop every cancelled entry and re-heapify the survivors.
+
+        O(live) — amortized constant per cancellation, since a compaction
+        at least halves the calendar and resets the cancelled count.
+        Safe at any point outside :func:`heapq` calls: events carry a
+        total order, so ``heapify`` restores the exact pop sequence.
+        """
+        self._calendar = [e for e in self._calendar if not e.cancelled]
+        heapq.heapify(self._calendar)
+        self._cancelled = 0

@@ -48,13 +48,28 @@ class Event:
     action: Callable[..., None] = field(compare=False)
     args: tuple[Any, ...] = field(compare=False, default=())
     cancelled: bool = field(compare=False, default=False)
+    #: Back-reference to the owning engine (set at scheduling time, cleared
+    #: when the event leaves the calendar) so cancellation is accounted for
+    #: in O(1) without scanning the heap.  Duck-typed to avoid a circular
+    #: import; anything with a ``_note_cancelled()`` method works.
+    engine: Any = field(compare=False, default=None, repr=False)
 
     def __post_init__(self) -> None:
         self.seq = next(_EVENT_COUNTER)
 
     def cancel(self) -> None:
-        """Mark the event as cancelled; the engine skips it when popped."""
+        """Mark the event as cancelled; the engine skips it when popped.
+
+        Idempotent.  While the event is still on a calendar, the owning
+        engine is notified so its live-event count (and the compaction
+        heuristic) stay exact; cancelling an event that already fired or
+        was drained is a harmless no-op.
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self.engine is not None:
+            self.engine._note_cancelled()
 
     def fire(self) -> None:
         """Invoke the callback (engine-internal)."""

@@ -90,3 +90,41 @@ def test_probe_rounds_look_independent():
     p1 = np.array([family.probe(f"n{i}", 1) for i in range(2000)])
     corr = np.corrcoef(p0, p1)[0, 1]
     assert abs(corr) < 0.08
+
+
+def test_hash_to_unit_clamps_top_of_range_digests(monkeypatch):
+    """Digests within half an ULP of 2**64 must not divide to 1.0.
+
+    ``(2**64 - 1) / 2**64`` rounds to exactly 1.0 under float division;
+    locate_point's domain is [0, 1), so hash_to_unit clamps to the largest
+    double below 1.0 instead.
+    """
+    import math
+
+    from repro.core import hashing
+
+    for digest in (2**64 - 1, 2**64 - 2**9, 2**64 - 2**10):
+        assert digest / float(2**64) == 1.0  # the hazard being guarded
+        monkeypatch.setattr(hashing, "hash64", lambda *a, **k: digest)
+        x = hashing.hash_to_unit("any", 0)
+        assert x == math.nextafter(1.0, 0.0)
+        assert 0.0 <= x < 1.0
+
+
+def test_hash_to_unit_clamp_leaves_ordinary_digests_untouched(monkeypatch):
+    from repro.core import hashing
+
+    digest = 2**63 + 12345
+    monkeypatch.setattr(hashing, "hash64", lambda *a, **k: digest)
+    assert hashing.hash_to_unit("any", 0) == digest / float(2**64)
+
+
+def test_clamped_probe_is_locatable():
+    """End-to-end: the clamp ceiling feeds locate_point without error."""
+    import math
+
+    from repro.core.interval import MappedInterval
+
+    iv = MappedInterval(["a", "b"])
+    result = iv.locate_point(math.nextafter(1.0, 0.0))
+    assert result is None or isinstance(result, str)

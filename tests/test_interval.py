@@ -211,3 +211,49 @@ def test_free_partition_always_available_under_stress():
     iv.set_shares({f"s{i}": (i + 1.0) ** 3 for i in range(5)})
     iv.check_invariants()
     assert iv.free_partitions()
+
+
+def test_locate_point_accepts_largest_double_below_one():
+    """hash_to_unit clamps to nextafter(1.0, 0.0); locate_point must take it."""
+    import math
+
+    iv = MappedInterval(["a"])
+    x = math.nextafter(1.0, 0.0)
+    # The top partition is free under half occupancy, so the result is None,
+    # but the point itself is in-domain: no IntervalError.
+    assert iv.locate_point(x) is None
+    assert int(x * RESOLUTION) == RESOLUTION - 1
+
+
+def test_locate_point_partial_partition_tick_edges():
+    """Ownership flips exactly at the partial-partition prefix boundary."""
+    iv = MappedInterval(["a", "b", "c"])  # equal thirds force partials
+    psize = RESOLUTION // iv.partitions
+    checked = 0
+    for name in iv.servers:
+        partial = iv._partial[name]
+        if partial is None:
+            continue
+        idx, ticks = partial
+        assert iv._prefix[idx] == ticks
+        # Last owned tick of the prefix: offset == prefix - 1.
+        inside = (idx * psize + ticks - 1) / RESOLUTION
+        assert iv.locate_point(inside) == name
+        # First tick past the prefix: offset == prefix.
+        if ticks < psize:
+            outside = (idx * psize + ticks) / RESOLUTION
+            assert iv.locate_point(outside) is None
+        checked += 1
+    assert checked >= 1  # the layout really exercised a partial partition
+
+
+def test_locate_point_whole_partition_edges():
+    """Full partitions own their first and last tick; neighbours do not leak."""
+    iv = MappedInterval(["a", "b"])
+    psize = RESOLUTION // iv.partitions
+    for name in iv.servers:
+        for idx in sorted(iv._full[name]):
+            first = (idx * psize) / RESOLUTION
+            last = (idx * psize + psize - 1) / RESOLUTION
+            assert iv.locate_point(first) == name
+            assert iv.locate_point(last) == name

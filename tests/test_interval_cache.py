@@ -1,0 +1,92 @@
+"""Property tests for the generation-counter ``segments()`` cache.
+
+``MappedInterval.segments`` memoizes the merged segment list per mutation
+generation; every mutating path must bump the generation so the cache can
+never serve a stale mapping.  These tests interleave reads (to populate the
+cache) with randomized mutations and assert the cached answer always equals
+a from-scratch rebuild via ``_build_segments``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.interval import MappedInterval
+
+
+def assert_cache_consistent(interval: MappedInterval) -> None:
+    for server in interval.servers:
+        cached = interval.segments(server)
+        rebuilt = interval._build_segments(server)
+        assert cached == rebuilt
+
+
+@settings(max_examples=120, deadline=None)
+@given(data=st.data())
+def test_cached_segments_always_match_rebuild(data):
+    interval = MappedInterval(["s0", "s1"])
+    next_id = 2
+    n_ops = data.draw(st.integers(min_value=1, max_value=10), label="n_ops")
+    for _ in range(n_ops):
+        # Read first so the cache is warm when the mutation lands.
+        assert_cache_consistent(interval)
+        op = data.draw(
+            st.sampled_from(
+                ["set_shares", "add_server", "remove_server", "repartition"]
+            ),
+            label="op",
+        )
+        servers = interval.servers
+        if op == "set_shares":
+            weights = data.draw(
+                st.lists(
+                    st.integers(min_value=1, max_value=9),
+                    min_size=len(servers),
+                    max_size=len(servers),
+                ),
+                label="weights",
+            )
+            interval.set_shares(dict(zip(servers, map(float, weights))))
+        elif op == "add_server":
+            if interval.n_servers >= 7:
+                continue
+            interval.add_server(f"s{next_id}")
+            next_id += 1
+        elif op == "remove_server":
+            if interval.n_servers <= 1:
+                continue
+            victim = data.draw(st.sampled_from(servers), label="victim")
+            interval.remove_server(victim)
+        else:
+            interval.repartition()
+        assert_cache_consistent(interval)
+    interval.check_invariants()
+
+
+def test_segments_cache_hits_between_mutations():
+    interval = MappedInterval(["a", "b"])
+    first = interval.segments("a")
+    assert interval._segments_gen == interval._generation
+    assert "a" in interval._segments_cache
+    again = interval.segments("a")
+    assert again == first
+    # The public API hands out copies: mutating one must not poison the cache.
+    again.clear()
+    assert interval.segments("a") == first
+
+
+def test_segments_cache_invalidated_by_each_mutation_kind():
+    interval = MappedInterval(["a", "b"])
+    mutations = [
+        lambda: interval.set_shares({"a": 3.0, "b": 1.0}),
+        lambda: interval.add_server("c"),
+        lambda: interval.repartition(),
+        lambda: interval.remove_server("c"),
+    ]
+    for mutate in mutations:
+        interval.segments("a")
+        gen_before = interval._generation
+        mutate()
+        assert interval._generation > gen_before
+        assert_cache_consistent(interval)

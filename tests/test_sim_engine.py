@@ -72,6 +72,88 @@ def test_cancelled_event_does_not_fire():
     assert fired == ["y"]
 
 
+def test_pending_drops_when_events_are_cancelled():
+    engine = Engine()
+    handles = [engine.schedule(float(i + 1), lambda: None) for i in range(5)]
+    assert engine.pending == 5
+    handles[0].cancel()
+    handles[3].cancel()
+    assert engine.pending == 3
+    # Cancelling twice must not double-count.
+    handles[0].cancel()
+    assert engine.pending == 3
+    engine.run()
+    assert engine.pending == 0
+    assert engine.events_fired == 3
+
+
+def test_pending_counts_live_events_during_run():
+    engine = Engine()
+    seen = []
+
+    def observe():
+        seen.append(engine.pending)
+
+    guard = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, observe)
+    guard.cancel()
+    engine.schedule(3.0, observe)
+    engine.run()
+    # At t=2 only the t=3 observer remains; at t=3 nothing does.
+    assert seen == [1, 0]
+
+
+def test_cancel_after_fire_does_not_skew_pending():
+    engine = Engine()
+    handle = engine.schedule(1.0, lambda: None)
+    engine.schedule(2.0, lambda: None)
+    engine.run(until=1.5)
+    handle.cancel()  # already fired: harmless no-op
+    assert engine.pending == 1
+    engine.run()
+    assert engine.pending == 0
+
+
+def test_cancel_after_drain_does_not_skew_pending():
+    engine = Engine()
+    handle = engine.schedule(1.0, lambda: None)
+    engine.drain()
+    assert engine.pending == 0
+    handle.cancel()
+    assert engine.pending == 0
+    engine.schedule(2.0, lambda: None)
+    assert engine.pending == 1
+
+
+def test_calendar_compaction_evicts_cancelled_corpses():
+    engine = Engine()
+    live = [engine.schedule(1000.0 + i, lambda: None) for i in range(4)]
+    corpses = [engine.schedule(5000.0 + i, lambda: None) for i in range(200)]
+    for handle in corpses:
+        handle.cancel()
+    # Cancelled entries outnumbered live ones: the heap was compacted.
+    assert engine.pending == 4
+    assert len(engine._calendar) < 64
+    fired = []
+    for handle in live:
+        handle.action = fired.append  # replaced for observability
+        handle.args = (handle.time,)
+    engine.run()
+    assert fired == [1000.0, 1001.0, 1002.0, 1003.0]
+
+
+def test_compaction_preserves_tie_order():
+    engine = Engine()
+    fired = []
+    keep = [engine.schedule(1.0, fired.append, i) for i in range(10)]
+    corpses = [engine.schedule(1.0, fired.append, 100 + i) for i in range(300)]
+    for handle in corpses:
+        handle.cancel()
+    engine.run()
+    assert fired == list(range(10))
+    assert keep[0].cancelled is False
+
+
 def test_events_scheduled_during_run_fire():
     engine = Engine()
     fired = []
