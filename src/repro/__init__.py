@@ -43,6 +43,11 @@ Subpackages
 ``repro.proto``
     The §4 control plane as a message protocol: election, heartbeats,
     versioned configuration distribution.
+``repro.runtime``
+    Shared simulation-harness core: the delegate tuning loop, arrival
+    scheduling, the unified :class:`~repro.runtime.result.SimResult`, the
+    structured telemetry event stream, and the harness-agnostic
+    :class:`~repro.runtime.scenario.Scenario` assembly.
 ``repro.bench``
     Persistent benchmark-regression harness (the ``repro-bench`` CLI):
     median-of-k timing, schema-versioned reports, baseline gating.
@@ -64,6 +69,13 @@ from .cluster import (
     RunResult,
     ServerSpec,
     paper_servers,
+)
+from .runtime import (
+    JsonlSink,
+    MemorySink,
+    SimResult,
+    TelemetryRecord,
+    TelemetrySink,
 )
 from .workloads import (
     DFSTraceLikeConfig,
@@ -89,6 +101,11 @@ __all__ = [
     "paper_servers",
     "FaultSchedule",
     "MoveCostModel",
+    "SimResult",
+    "TelemetryRecord",
+    "TelemetrySink",
+    "MemorySink",
+    "JsonlSink",
     "Trace",
     "SyntheticConfig",
     "generate_synthetic",

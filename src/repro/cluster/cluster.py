@@ -17,24 +17,45 @@ Timeline of one run:
   a crashed server is re-dispatched and follows its file set through
   recovery moves.
 
+Since the ``repro.runtime`` refactor this class is a thin adapter: arrival
+scheduling, tuning cadence, report history, and membership handling come
+from :class:`repro.runtime.loop.TuningLoop` /
+:class:`repro.runtime.arrivals.ArrivalPump`; this module contributes only
+what is specific to the queueing model (server facilities, the file-set
+mover, fault realization).  A structured telemetry stream
+(:mod:`repro.runtime.telemetry`) reports arrivals, dispatches,
+completions, tuning decisions, moves, and faults to any sink passed in.
+
 The simulation is a pure function of ``(config, policy, trace, faults)``:
-all randomness derives from ``config.seed`` via named streams.
+all randomness derives from ``config.seed`` via named streams, and
+telemetry is purely observational.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterator, Mapping
-
-import numpy as np
+from typing import Mapping, Sequence
 
 from ..contracts import checks_invariants
 from ..core.movement import MovementLedger, diff_assignment
-from ..core.tuning import ServerReport
-from ..metrics.latency import LatencyCollector, LatencySeries
+from ..core.tuning import ServerReport, TuningDecision
+from ..metrics.latency import LatencyCollector
 from ..placement.base import PlacementPolicy, TuningContext, validate_assignment
+from ..runtime.arrivals import ArrivalPump
+from ..runtime.loop import TuningLoop
+from ..runtime.result import SimResult, summarize_collector
+from ..runtime.telemetry import (
+    NULL_SINK,
+    FaultInjected,
+    MoveFinished,
+    MoveStarted,
+    RequestArrived,
+    RequestCompleted,
+    RequestDispatched,
+    TelemetrySink,
+)
 from ..sim.engine import Engine
-from ..sim.events import PRIORITY_EARLY, PRIORITY_LATE
+from ..sim.events import PRIORITY_EARLY
 from ..sim.rng import StreamFactory
 from ..workloads.trace import Trace, TraceRecord
 from .faults import FaultEvent, FaultKind, FaultSchedule
@@ -94,37 +115,16 @@ def paper_servers() -> tuple[ServerSpec, ...]:
     )
 
 
-@dataclass
-class RunResult:
-    """Everything a figure or benchmark needs from one run."""
-
-    policy_name: str
-    duration: float
-    series: LatencySeries
-    ledger: MovementLedger
-    completed: dict[str, int]
-    utilization: dict[str, float]
-    mean_latency: float
-    total_requests: int
-    moves_started: int
-    moves_completed: int
-    retries: int
-    final_assignment: dict[str, str]
-    tuning_rounds: int
-
-    def summary(self) -> dict[str, float]:
-        """Scalar metrics for report tables."""
-        return {
-            "mean_latency": self.mean_latency,
-            "total_requests": float(self.total_requests),
-            "moves": float(self.moves_started),
-            "tuning_rounds": float(self.tuning_rounds),
-            "retries": float(self.retries),
-        }
+class RunResult(SimResult):
+    """Legacy name for the queueing harness's :class:`SimResult`."""
 
 
 class ClusterSimulation:
-    """One simulated run of a placement policy against a trace."""
+    """One simulated run of a placement policy against a trace.
+
+    Implements :class:`repro.runtime.loop.TuningHost`: the shared
+    :class:`TuningLoop` drives its delegate rounds and membership changes.
+    """
 
     def __init__(
         self,
@@ -132,12 +132,14 @@ class ClusterSimulation:
         policy: PlacementPolicy,
         trace: Trace,
         faults: FaultSchedule | None = None,
+        telemetry: TelemetrySink | None = None,
     ) -> None:
         self.config = config
         self.policy = policy
         self.trace = trace
         self.faults = faults or FaultSchedule()
         self.faults.validate({s.name for s in config.servers})
+        self.telemetry = telemetry if telemetry is not None else NULL_SINK
 
         self.engine = Engine()
         factory = StreamFactory(config.seed)
@@ -155,8 +157,13 @@ class ClusterSimulation:
         self.ledger = MovementLedger()
         self.completed: dict[str, int] = {name: 0 for name in self.servers}
         self.retries = 0
-        self.tuning_rounds = 0
-        self._previous_reports: list[ServerReport] | None = None
+        self.loop = TuningLoop(
+            engine=self.engine,
+            interval=config.tuning_interval,
+            duration=trace.duration,
+            host=self,
+            telemetry=self.telemetry,
+        )
 
         initial = policy.initial_assignment(
             list(trace.fileset_names), sorted(self.servers)
@@ -173,6 +180,11 @@ class ClusterSimulation:
     @property
     def live_servers(self) -> list[str]:
         return sorted(n for n, s in self.servers.items() if s.alive)
+
+    @property
+    def tuning_rounds(self) -> int:
+        """Delegate rounds run so far (owned by the shared loop)."""
+        return self.loop.rounds
 
     def planned_assignment(self) -> dict[str, str]:
         """Where each file set is (or is headed, if mid-move)."""
@@ -218,16 +230,19 @@ class ClusterSimulation:
     # ------------------------------------------------------------------
     def run(self) -> RunResult:
         """Execute the full trace, then drain queues; returns the results."""
-        self._schedule_arrivals(self.trace.records())
+        pump = ArrivalPump(
+            self.engine,
+            self.trace.records(),
+            self._on_arrival,
+            time_of=lambda record: record.time,
+        )
+        pump.start()
         for ev in self.faults:
             self.engine.schedule_at(
                 ev.time, self._on_fault, ev, priority=PRIORITY_EARLY
             )
         if self.config.tuning_interval <= self.trace.duration:
-            self.engine.schedule_at(
-                self.config.tuning_interval, self._on_tuning,
-                priority=PRIORITY_LATE,
-            )
+            self.loop.start(self.config.tuning_interval)
         self.engine.run(until=self.trace.duration)
         self.engine.run()  # drain: arrivals are done, tuning stops rescheduling
         return self._result()
@@ -235,21 +250,17 @@ class ClusterSimulation:
     # ------------------------------------------------------------------
     # Arrivals and service
     # ------------------------------------------------------------------
-    def _schedule_arrivals(self, records: Iterator[TraceRecord]) -> None:
-        self._arrival_iter = records
-        self._schedule_next_arrival()
-
-    def _schedule_next_arrival(self) -> None:
-        record = next(self._arrival_iter, None)
-        if record is None:
-            return
+    def _on_arrival(self, record: TraceRecord) -> None:
         request = MetadataRequest(
             arrival=record.time, fileset=record.fileset, cost=record.cost
         )
-        self.engine.schedule_at(record.time, self._on_arrival, request)
-
-    def _on_arrival(self, request: MetadataRequest) -> None:
-        self._schedule_next_arrival()
+        sink = self.telemetry
+        if sink.enabled:
+            sink.emit(
+                RequestArrived(
+                    time=self.engine.now, fileset=record.fileset, cost=record.cost
+                )
+            )
         self._route(request)
 
     def _route(self, request: MetadataRequest) -> None:
@@ -263,6 +274,16 @@ class ClusterSimulation:
         multiplier = state.next_cost_multiplier(self.config.move_cost.cold_multiplier)
         service_time = server.service_time(request, multiplier)
         server.submit(request, multiplier, self._make_completion(server, service_time))
+        sink = self.telemetry
+        if sink.enabled:
+            sink.emit(
+                RequestDispatched(
+                    time=self.engine.now,
+                    fileset=request.fileset,
+                    server=server.name,
+                    service_time=service_time,
+                )
+            )
 
     def _make_completion(self, server: MetadataServer, service_time: float):
         def _on_complete(request: MetadataRequest) -> None:
@@ -273,57 +294,89 @@ class ClusterSimulation:
                 latency = response
             self.collector.record(server.name, self.engine.now, latency)
             self.completed[server.name] = self.completed.get(server.name, 0) + 1
+            sink = self.telemetry
+            if sink.enabled:
+                sink.emit(
+                    RequestCompleted(
+                        time=self.engine.now, server=server.name, latency=latency
+                    )
+                )
 
         return _on_complete
 
     # ------------------------------------------------------------------
-    # Tuning rounds
+    # Tuning rounds (TuningHost protocol, driven by self.loop)
     # ------------------------------------------------------------------
-    def _on_tuning(self) -> None:
-        now = self.engine.now
-        interval = self.config.tuning_interval
+    def build_tuning_context(
+        self,
+        now: float,
+        interval: float,
+        previous_reports: Sequence[ServerReport] | None,
+    ) -> TuningContext:
+        """This round's context: live servers, window reports, oracle."""
         live = self.live_servers
-        reports = self.collector.reports(live, now - interval, now)
-        assignment = self.planned_assignment()
-        context = TuningContext(
+        return TuningContext(
             time=now,
             filesets=list(self.trace.fileset_names),
             servers=live,
-            assignment=assignment,
-            reports=reports,
-            previous_reports=self._previous_reports,
+            assignment=self.planned_assignment(),
+            reports=self.collector.reports(live, now - interval, now),
+            previous_reports=previous_reports,
             server_speeds={n: self.servers[n].speed for n in live},
             oracle_demand=self.trace.demand_by_fileset(
                 now, now + (self.config.oracle_horizon or interval)
             ),
             rng=self._policy_rng,
         )
-        self.tuning_rounds += 1
+
+    def decide(
+        self, context: TuningContext
+    ) -> tuple[dict[str, str] | None, TuningDecision | None]:
+        """Ask the placement policy for a new (validated) assignment."""
         new_assignment = self.policy.update(context)
-        self._previous_reports = reports
         if new_assignment is not None:
-            validate_assignment(new_assignment, self.trace.fileset_names, live)
-            self._realize(assignment, new_assignment)
-        if now + interval <= self.trace.duration:
-            self.engine.schedule(interval, self._on_tuning, priority=PRIORITY_LATE)
+            validate_assignment(
+                new_assignment, self.trace.fileset_names, list(context.servers)
+            )
+        return new_assignment, None
 
     @checks_invariants
-    def _realize(
-        self, old: Mapping[str, str], new: Mapping[str, str]
-    ) -> None:
+    def realize(self, old: Mapping[str, str], new: Mapping[str, str]) -> None:
         """Turn an assignment change into shared-disk moves."""
         diff = diff_assignment(old, new)
         self.ledger.record(diff)
+        sink = self.telemetry
         for move in diff.moves:
             state = self.filesets[move.fileset]
+            if sink.enabled:
+                sink.emit(
+                    MoveStarted(
+                        time=self.engine.now,
+                        fileset=move.fileset,
+                        source=move.source,
+                        destination=move.destination,
+                    )
+                )
             if state.moving:
                 state.redirect_move(move.destination)
             else:
                 self.mover.start_move(state, move.destination, self._on_move_done)
 
+    #: Backwards-compatible alias (pre-runtime name, used by older drivers).
+    _realize = realize
+
     def _on_move_done(
         self, state: FileSetState, drained: list[MetadataRequest]
     ) -> None:
+        sink = self.telemetry
+        if sink.enabled:
+            sink.emit(
+                MoveFinished(
+                    time=self.engine.now,
+                    fileset=state.name,
+                    destination=state.owner,
+                )
+            )
         owner = self.servers.get(state.owner)
         if owner is None or not owner.alive:
             # Destination died while the move was in flight; the fault
@@ -332,6 +385,15 @@ class ClusterSimulation:
             target = self.planned_assignment()[state.name]
             if target != state.owner and not state.moving:
                 state.buffer.extend(drained)
+                if sink.enabled:
+                    sink.emit(
+                        MoveStarted(
+                            time=self.engine.now,
+                            fileset=state.name,
+                            source=state.owner,
+                            destination=target,
+                        )
+                    )
                 self.mover.start_move(state, target, self._on_move_done)
                 return
         for request in sorted(drained, key=lambda r: (r.arrival, r.rid)):
@@ -342,8 +404,15 @@ class ClusterSimulation:
     # ------------------------------------------------------------------
     def _on_fault(self, event: FaultEvent) -> None:
         kind = event.kind
+        sink = self.telemetry
+        if sink.enabled:
+            sink.emit(
+                FaultInjected(
+                    time=self.engine.now, fault=kind.value, server=event.server
+                )
+            )
         if kind is FaultKind.DELEGATE_CRASH:
-            self._previous_reports = None
+            self.loop.reset_history()
             fail_delegate = getattr(self.policy, "fail_delegate", None)
             if fail_delegate is not None:
                 fail_delegate()
@@ -378,29 +447,27 @@ class ClusterSimulation:
         self.collector.ensure_server(spec.name)
         self.completed.setdefault(spec.name, 0)
 
-    @checks_invariants
-    def _membership_changed(self) -> None:
+    def membership_assignment(self) -> tuple[dict[str, str], dict[str, str]]:
+        """(old, new) assignments after the server set changed."""
         live = self.live_servers
         old = self.planned_assignment()
         new = self.policy.on_membership_change(
             list(self.trace.fileset_names), live, old
         )
         validate_assignment(new, self.trace.fileset_names, live)
-        # Latency history straddles the membership change; drop it so the
-        # next delegate round starts fresh (stateless recovery).
-        self._previous_reports = None
-        self._realize(old, new)
+        return old, new
+
+    @checks_invariants
+    def _membership_changed(self) -> None:
+        self.loop.membership_changed()
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
     def _result(self) -> RunResult:
         duration = self.trace.duration
-        series = self.collector.series(duration, self.config.sample_window)
-        total = sum(self.completed.values())
-        weighted = sum(
-            series.mean_over_run(s) * self.completed.get(s, 0)
-            for s in series.servers
+        series, mean_latency, total = summarize_collector(
+            self.collector, duration, self.config.sample_window, self.completed
         )
         return RunResult(
             policy_name=self.policy.name,
@@ -412,11 +479,12 @@ class ClusterSimulation:
                 name: server.facility.monitor.utilization(self.engine.now)
                 for name, server in self.servers.items()
             },
-            mean_latency=weighted / total if total else 0.0,
+            mean_latency=mean_latency,
             total_requests=total,
             moves_started=self.mover.moves_started,
             moves_completed=self.mover.moves_completed,
             retries=self.retries,
             final_assignment=self.planned_assignment(),
-            tuning_rounds=self.tuning_rounds,
+            tuning_rounds=self.loop.rounds,
+            collector=self.collector,
         )

@@ -26,6 +26,7 @@ from ..core.tuning import TuningConfig
 from ..placement.base import PlacementPolicy, TuningContext
 from ..proto.network import Network, NetworkConfig
 from ..proto.node import ProtocolConfig, ServerNode
+from ..runtime.telemetry import TelemetrySink
 from ..sim.rng import StreamFactory
 from ..workloads.trace import Trace
 from .cluster import ClusterConfig, ClusterSimulation, RunResult
@@ -88,10 +89,16 @@ class ProtocolDrivenCluster:
         protocol: ProtocolConfig | None = None,
         network: NetworkConfig | None = None,
         delegate_crash_times: Sequence[float] = (),
+        telemetry: TelemetrySink | None = None,
     ) -> None:
         self.config = config
         self.policy = PassiveANUPolicy()
-        self.sim = ClusterSimulation(config, self.policy, trace)
+        # The sink sees the queueing stream (arrivals, moves) from the
+        # simulation plus protocol-level records (elections, delegate
+        # rounds) from the nodes.
+        self.sim = ClusterSimulation(
+            config, self.policy, trace, telemetry=telemetry
+        )
         factory = StreamFactory(config.seed).spawn("protocol")
         self.network = Network(self.sim.engine, factory.stream("network"), network)
         self.protocol = protocol or ProtocolConfig(
@@ -113,6 +120,7 @@ class ProtocolDrivenCluster:
                 config=self.protocol,
                 tuning=tuning,
                 initial_shares={s: 1.0 for s in server_names},
+                telemetry=telemetry,
             )
             self.nodes[name] = node
         for t in delegate_crash_times:
@@ -152,7 +160,7 @@ class ProtocolDrivenCluster:
         self.config_updates_applied += 1
         old = self.sim.planned_assignment()
         new = placement.assignment(list(self.sim.trace.fileset_names))
-        self.sim._realize(old, new)
+        self.sim.realize(old, new)
 
     def _shutdown_protocol(self) -> None:
         for node in self.nodes.values():

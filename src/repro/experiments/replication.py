@@ -69,14 +69,15 @@ class ReplicationResult:
 
 
 def _metrics_of(result: RunResult) -> dict[str, float]:
-    return {
-        "mean_latency": result.mean_latency,
-        "steady_worst": max(
-            result.series.tail_window_mean(s, 10) for s in result.series.servers
-        ),
-        "moves": float(result.moves_started),
-        "preservation": result.ledger.preservation,
-    }
+    # Shared scalar schema (repro.metrics.summary) plus the
+    # replication-specific steady-state and movement metrics.
+    metrics = result.summary()
+    metrics["steady_worst"] = max(
+        result.series.tail_window_mean(s, 10) for s in result.series.servers
+    )
+    metrics["preservation"] = result.ledger.preservation
+    metrics["p95"] = result.tail_summary()["p95"]
+    return metrics
 
 
 def replicate(

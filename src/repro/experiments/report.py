@@ -59,6 +59,7 @@ def comparison_table(results: Mapping[str, RunResult], unit_ms: bool = True) -> 
     unit = "ms" if unit_ms else "s"
     header = (
         f"{'policy':20s} {'mean(' + unit + ')':>10s} {'worst-server(' + unit + ')':>18s} "
+        f"{'p95(' + unit + ')':>10s} "
         f"{'moves':>6s} {'rounds':>7s} {'preserved':>10s}"
     )
     lines = [header, "-" * len(header)]
@@ -66,8 +67,11 @@ def comparison_table(results: Mapping[str, RunResult], unit_ms: bool = True) -> 
         worst = max(
             (res.series.mean_over_run(s) for s in res.series.servers), default=0.0
         )
+        # Single-pass pooled quantiles via the collector (repro.metrics).
+        p95 = res.tail_summary()["p95"]
         lines.append(
             f"{name:20s} {res.mean_latency * scale:10.1f} {worst * scale:18.1f} "
+            f"{p95 * scale:10.1f} "
             f"{res.moves_started:6d} {res.tuning_rounds:7d} "
             f"{res.ledger.preservation:10.3f}"
         )

@@ -27,6 +27,7 @@ from ..placement.prescient import PrescientPolicy
 from ..placement.round_robin import RoundRobinPolicy
 from ..placement.simple_random import SimpleRandomPolicy
 from ..placement.two_choice import TwoChoicePolicy
+from ..runtime.telemetry import TelemetrySink
 from ..workloads.dfstrace import DFSTraceLikeConfig, generate_dfstrace_like
 from ..workloads.synthetic import SyntheticConfig, generate_synthetic
 from ..workloads.trace import Trace
@@ -81,6 +82,7 @@ def run_policy(
     trace: Trace,
     cluster: ClusterConfig,
     faults: FaultSchedule | None = None,
+    telemetry: "TelemetrySink | None" = None,
 ) -> RunResult:
     """Run one policy against one trace.
 
@@ -104,7 +106,7 @@ def run_policy(
     elif policy_name == "consistent-hash-weighted":
         assert isinstance(policy, ConsistentHashPolicy)
         policy.weights = dict(cluster.speeds)
-    sim = ClusterSimulation(cluster, policy, trace, faults)
+    sim = ClusterSimulation(cluster, policy, trace, faults, telemetry=telemetry)
     return sim.run()
 
 

@@ -13,6 +13,14 @@ untimed.  This module combines them on one engine:
   flush/initialize delay, during which the source keeps serving — and the
   image really travels over the shared disk.
 
+Since the ``repro.runtime`` refactor, round cadence and report history
+belong to the shared :class:`~repro.runtime.loop.TuningLoop`; this module
+implements its host protocol (decision = a raw
+:class:`~repro.core.tuning.DelegateTuner`, realize = delayed
+shared-disk ownership transfers) and emits the structured telemetry
+stream.  Scheduling is replicated exactly, so seeded runs replay
+bit-identically through the refactor.
+
 The result is the strongest correctness statement in the repository: under
 a timed, tuned, reconfiguring run, every operation still executes exactly
 once on the file set's owner, and the final namespace state equals the
@@ -22,12 +30,25 @@ untimed replay of the same operation stream.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Sequence
 
-from ..core.movement import diff_assignment
-from ..core.tuning import DelegateTuner, TuningConfig
-from ..metrics.latency import LatencyCollector, LatencySeries
+from ..core.movement import MovementLedger, ReconfigDiff, diff_assignment
+from ..core.tuning import DelegateTuner, ServerReport, TuningConfig, TuningDecision
+from ..metrics.latency import LatencyCollector
+from ..placement.base import TuningContext
+from ..runtime.arrivals import schedule_all
+from ..runtime.loop import TuningLoop
+from ..runtime.result import SimResult, summarize_collector
+from ..runtime.telemetry import (
+    NULL_SINK,
+    MoveFinished,
+    MoveStarted,
+    RequestArrived,
+    RequestCompleted,
+    RequestDispatched,
+    TelemetrySink,
+)
 from ..sim.engine import Engine
-from ..sim.events import PRIORITY_LATE
 from ..sim.resources import Facility
 from ..sim.rng import StreamFactory
 from .cluster import MetadataCluster
@@ -57,32 +78,52 @@ class FullSystemConfig:
 
 
 @dataclass
-class FullSystemResult:
-    """Everything a test or bench reads from a timed run."""
+class FullSystemResult(SimResult):
+    """The timed harness's :class:`SimResult`, plus the live namespace.
 
-    series: LatencySeries
-    ops_completed: int
-    ops_failed: int
-    moves: int
-    tuning_rounds: int
-    cluster: MetadataCluster
+    ``total_requests`` counts operations *served* (including failed
+    executions); the legacy ``ops_completed``/``moves`` accessors keep the
+    old result schema working.
+    """
+
+    cluster: MetadataCluster | None = None
+    ops_failed: int = 0
     failures: list[tuple[Operation, str]] = field(default_factory=list)
+
+    @property
+    def ops_completed(self) -> int:
+        """Operations that executed successfully."""
+        return self.total_requests - self.ops_failed
+
+    @property
+    def moves(self) -> int:
+        """Completed shared-disk image transfers (legacy name)."""
+        return self.moves_completed
 
 
 class FullSystemSimulation:
-    """Timed, tuned, reconfiguring execution of an operation stream."""
+    """Timed, tuned, reconfiguring execution of an operation stream.
+
+    Implements :class:`repro.runtime.loop.TuningHost`; the shared
+    :class:`TuningLoop` drives its delegate rounds.
+    """
 
     def __init__(
         self,
         config: FullSystemConfig,
         operations: list[Operation],
         tuning: TuningConfig | None = None,
+        telemetry: TelemetrySink | None = None,
     ) -> None:
         self.config = config
         self.operations = sorted(operations, key=lambda o: o.time)
+        self.telemetry = telemetry if telemetry is not None else NULL_SINK
         self.engine = Engine()
         factory = StreamFactory(config.seed)
         self._move_rng = factory.stream("fs-sim-mover")
+        #: Explicit policy stream (satisfies the deterministic-RNG contract
+        #: of TuningContext; the delegate tuner itself draws nothing).
+        self._tuning_rng = factory.stream("fs-sim-tuning")
         self.cluster = MetadataCluster(
             sorted(config.server_speeds), config.fileset_roots, tuning=tuning
         )
@@ -97,34 +138,63 @@ class FullSystemSimulation:
         self.ops_completed = 0
         self.ops_failed = 0
         self.moves = 0
-        self.tuning_rounds = 0
+        self.moves_started = 0
+        self.completed: dict[str, int] = {
+            name: 0 for name in sorted(config.server_speeds)
+        }
+        self.ledger = MovementLedger()
         self.failures: list[tuple[Operation, str]] = []
         self._moving: set[str] = set()
-        self._previous_reports = None
         self._duration = (
             self.operations[-1].time if self.operations else 0.0
         )
+        self.loop = TuningLoop(
+            engine=self.engine,
+            interval=config.tuning_interval,
+            duration=self._duration,
+            host=self,
+            telemetry=self.telemetry,
+        )
+
+    @property
+    def tuning_rounds(self) -> int:
+        """Delegate rounds run so far (owned by the shared loop)."""
+        return self.loop.rounds
 
     # ------------------------------------------------------------------
     def run(self) -> FullSystemResult:
         """Execute the operation stream; returns the results."""
-        for op in self.operations:
-            self.engine.schedule_at(op.time, self._on_arrival, op)
+        schedule_all(
+            self.engine, self.operations, self._on_arrival,
+            time_of=lambda op: op.time,
+        )
         if self._duration > 0:
-            self.engine.schedule_at(
-                min(self.config.tuning_interval, self._duration),
-                self._tuning_round,
-                priority=PRIORITY_LATE,
-            )
+            self.loop.start(min(self.config.tuning_interval, self._duration))
         self.engine.run()
         duration = max(self._duration, self.engine.now, 1e-9)
+        series, mean_latency, total = summarize_collector(
+            self.collector, duration, self.config.sample_window, self.completed
+        )
         return FullSystemResult(
-            series=self.collector.series(duration, self.config.sample_window),
-            ops_completed=self.ops_completed,
-            ops_failed=self.ops_failed,
-            moves=self.moves,
-            tuning_rounds=self.tuning_rounds,
+            policy_name="anu-delegate",
+            duration=duration,
+            series=series,
+            ledger=self.ledger,
+            completed=dict(self.completed),
+            utilization={
+                name: facility.monitor.utilization(self.engine.now)
+                for name, facility in self.facilities.items()
+            },
+            mean_latency=mean_latency,
+            total_requests=total,
+            moves_started=self.moves_started,
+            moves_completed=self.moves,
+            retries=0,
+            final_assignment=self.cluster.ownership(),
+            tuning_rounds=self.loop.rounds,
+            collector=self.collector,
             cluster=self.cluster,
+            ops_failed=self.ops_failed,
             failures=self.failures,
         )
 
@@ -135,6 +205,9 @@ class FullSystemSimulation:
         speed = self.config.server_speeds[owner]
         cost = self.config.mean_op_cost * op.op.weight / MEAN_WEIGHT
         arrival = self.engine.now
+        sink = self.telemetry
+        if sink.enabled:
+            sink.emit(RequestArrived(time=arrival, fileset=fileset, cost=cost))
 
         def _serve() -> None:
             # Execute on whoever owns the file set NOW — ownership may have
@@ -144,13 +217,27 @@ class FullSystemSimulation:
             result = self._execute(op)
             wait = max(self.engine.now - arrival - cost / speed, 0.0)
             self.collector.record(owner, self.engine.now, wait)
+            self.completed[owner] += 1
             if result.ok:
                 self.ops_completed += 1
             else:
                 self.ops_failed += 1
                 self.failures.append((op, result.error or "?"))
+            if sink.enabled:
+                sink.emit(
+                    RequestCompleted(
+                        time=self.engine.now, server=owner, latency=wait
+                    )
+                )
 
         self.facilities[owner].request(cost / speed, _serve)
+        if sink.enabled:
+            sink.emit(
+                RequestDispatched(
+                    time=arrival, fileset=fileset, server=owner,
+                    service_time=cost / speed,
+                )
+            )
 
     def _execute(self, op: Operation) -> OpResult:
         _server, result = self.cluster.submit(
@@ -160,36 +247,81 @@ class FullSystemSimulation:
         return result
 
     # ------------------------------------------------------------------
-    def _tuning_round(self) -> None:
-        now = self.engine.now
-        interval = self.config.tuning_interval
-        reports = self.collector.reports(
-            sorted(self.config.server_speeds), now - interval, now
+    # Tuning rounds (TuningHost protocol, driven by self.loop)
+    # ------------------------------------------------------------------
+    def build_tuning_context(
+        self,
+        now: float,
+        interval: float,
+        previous_reports: Sequence[ServerReport] | None,
+    ) -> TuningContext:
+        """This round's context: window reports over the static fleet."""
+        servers = sorted(self.config.server_speeds)
+        return TuningContext(
+            time=now,
+            filesets=list(self.cluster.registry.filesets),
+            servers=servers,
+            assignment=self.cluster.ownership(),
+            reports=self.collector.reports(servers, now - interval, now),
+            previous_reports=previous_reports,
+            server_speeds=dict(self.config.server_speeds),
+            rng=self._tuning_rng,
         )
-        self.tuning_rounds += 1
+
+    def decide(
+        self, context: TuningContext
+    ) -> tuple[dict[str, str] | None, TuningDecision | None]:
+        """One delegate-tuner round; rescales shares when it tunes."""
+        previous = (
+            list(context.previous_reports)
+            if context.previous_reports is not None
+            else None
+        )
         decision = self.tuner.compute(
-            self.cluster.placement.shares(), reports, self._previous_reports
+            self.cluster.placement.shares(), list(context.reports), previous
         )
-        self._previous_reports = list(reports)
-        if decision.tuned:
-            placement = self.cluster.placement
-            placement.set_shares(decision.new_shares)
-            placement.check_invariants()
-            old = self.cluster.ownership()
-            new = placement.assignment(self.cluster.registry.filesets)
-            for move in diff_assignment(old, new).moves:
-                if move.fileset in self._moving:
-                    continue
-                self._moving.add(move.fileset)
-                delay = float(self._move_rng.uniform(
-                    self.config.move_delay_min, self.config.move_delay_max
-                ))
-                self.engine.schedule(
-                    delay, self._finish_move, move.fileset, move.destination
+        if not decision.tuned:
+            return None, decision
+        placement = self.cluster.placement
+        placement.set_shares(decision.new_shares)
+        placement.check_invariants()
+        return placement.assignment(self.cluster.registry.filesets), decision
+
+    def realize(self, old: dict[str, str], new: dict[str, str]) -> None:
+        """Schedule delayed shared-disk transfers for the assignment diff."""
+        diff = diff_assignment(old, new)
+        sink = self.telemetry
+        started = []
+        for move in diff.moves:
+            if move.fileset in self._moving:
+                continue
+            self._moving.add(move.fileset)
+            started.append(move)
+            delay = float(self._move_rng.uniform(
+                self.config.move_delay_min, self.config.move_delay_max
+            ))
+            if sink.enabled:
+                sink.emit(
+                    MoveStarted(
+                        time=self.engine.now, fileset=move.fileset,
+                        source=move.source, destination=move.destination,
+                    )
                 )
-        if now + interval <= self._duration:
-            self.engine.schedule(interval, self._tuning_round,
-                                 priority=PRIORITY_LATE)
+            self.engine.schedule(
+                delay, self._finish_move, move.fileset, move.destination
+            )
+        self.moves_started += len(started)
+        # Ledger counts transfers actually scheduled (in-flight redirects
+        # are already accounted to the reconfiguration that launched them).
+        self.ledger.record(
+            ReconfigDiff(moves=tuple(started), stayed=diff.stayed)
+        )
+
+    def membership_assignment(self) -> tuple[dict[str, str], dict[str, str]]:
+        """Unsupported: this harness never changes its server set."""
+        raise NotImplementedError(
+            "the timed full-system harness has a static server set"
+        )
 
     def _finish_move(self, fileset: str, destination: str) -> None:
         self._moving.discard(fileset)
@@ -200,3 +332,11 @@ class FullSystemSimulation:
             fileset, destination, now=self.engine.now
         ):
             self.moves += 1
+            sink = self.telemetry
+            if sink.enabled:
+                sink.emit(
+                    MoveFinished(
+                        time=self.engine.now, fileset=fileset,
+                        destination=destination,
+                    )
+                )

@@ -17,7 +17,8 @@ from ``context.rng``), so whole simulations replay exactly from a seed.
 from __future__ import annotations
 
 import abc
-from dataclasses import dataclass, field
+import warnings
+from dataclasses import dataclass
 from typing import Mapping, Sequence
 
 import numpy as np
@@ -44,9 +45,27 @@ class TuningContext:
     previous_reports: Sequence[ServerReport] | None = None
     server_speeds: Mapping[str, float] | None = None
     oracle_demand: Mapping[str, float] | None = None
-    rng: np.random.Generator = field(
-        default_factory=lambda: StreamFactory(0).stream("tuning-context")
-    )
+    #: Policy randomness MUST come from here so runs replay from a seed.
+    #: Harnesses built on :mod:`repro.runtime` always pass an explicit
+    #: stream derived from the run's seed; contexts built without one get
+    #: a deprecated seed-0 fallback (see ``__post_init__``).
+    rng: np.random.Generator | None = None
+
+    def __post_init__(self) -> None:
+        if self.rng is None:
+            # The old default_factory silently handed every context the
+            # SAME seed-0 stream, so two simulations with different seeds
+            # shared policy randomness — a determinism trap.  Keep the
+            # fallback for hand-built contexts, but make it loud.
+            warnings.warn(
+                "TuningContext built without an explicit rng; falling back "
+                "to the seed-0 'tuning-context' stream. Pass a stream "
+                "derived from the run's seed (the repro.runtime harnesses "
+                "do this automatically).",
+                DeprecationWarning,
+                stacklevel=3,
+            )
+            self.rng = StreamFactory(0).stream("tuning-context")
 
 
 class PlacementPolicy(abc.ABC):

@@ -29,6 +29,13 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from ..core.tuning import DelegateTuner, ServerReport, TuningConfig
+from ..runtime.loop import DelegateRoundDriver
+from ..runtime.telemetry import (
+    NULL_SINK,
+    DelegateElected,
+    TelemetrySink,
+    TuningDecided,
+)
 from ..sim.engine import Engine
 from .messages import (
     ConfigUpdate,
@@ -85,6 +92,7 @@ class ServerNode:
         config: ProtocolConfig | None = None,
         tuning: TuningConfig | None = None,
         initial_shares: dict[str, float] | None = None,
+        telemetry: TelemetrySink | None = None,
     ) -> None:
         self.name = name
         self.priority = priority
@@ -94,6 +102,9 @@ class ServerNode:
         self.report_source = report_source
         self.on_config = on_config
         self.tuner = DelegateTuner(tuning)
+        self.telemetry = telemetry if telemetry is not None else NULL_SINK
+        # Round bookkeeping shared with the harness tuning loops.
+        self._rounds = DelegateRoundDriver(self.tuner)
 
         self.alive = True
         self.epoch = 0
@@ -101,7 +112,6 @@ class ServerNode:
         self.shares: dict[str, float] = dict(initial_shares or {})
         self.applied_configs: list[ConfigUpdate] = []
         self.elections_started = 0
-        self.rounds_run = 0
 
         self._last_heartbeat = 0.0
         self._election_pending = False
@@ -109,9 +119,21 @@ class ServerNode:
         self._election_round = 0
         self._round_id = 0
         self._round_replies: dict[int, list[ServerReport]] = {}
-        self._previous_reports: list[ServerReport] | None = None
 
         network.register(name, self._on_message)
+
+    @property
+    def rounds_run(self) -> int:
+        """Delegate rounds this node has completed (driver-owned)."""
+        return self._rounds.rounds_run
+
+    @property
+    def _previous_reports(self) -> list[ServerReport] | None:
+        return self._rounds.previous_reports
+
+    @_previous_reports.setter
+    def _previous_reports(self, value: list[ServerReport] | None) -> None:
+        self._rounds.previous_reports = value
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -312,7 +334,13 @@ class ServerNode:
     # Delegate duties
     # ------------------------------------------------------------------
     def _become_delegate(self) -> None:
-        self._previous_reports = None  # stateless: fresh delegate history
+        self._rounds.reset()  # stateless: fresh delegate history
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                DelegateElected(
+                    time=self.engine.now, delegate=self.name, epoch=self.epoch
+                )
+            )
         self._send_heartbeat()
         self.engine.schedule(self.config.tuning_interval, self._tuning_round)
 
@@ -343,18 +371,26 @@ class ServerNode:
         reports = self._round_replies.pop(round_id, [])
         if not self.is_delegate or not reports:
             return
-        self.rounds_run += 1
         # Tune only over the servers that answered; shares for silent
-        # servers are preserved as-is.
+        # servers are preserved as-is.  The shared round driver filters the
+        # previous reports down to this round's responders, so the
+        # divergent gate only compares a server against its own history.
         named = {r.name: r for r in reports}
         shares = {
             name: self.shares.get(name, 1.0) for name in named
         }
-        previous = None
-        if self._previous_reports is not None:
-            previous = [r for r in self._previous_reports if r.name in named]
-        decision = self.tuner.compute(shares, list(named.values()), previous)
-        self._previous_reports = list(named.values())
+        decision = self._rounds.compute(shares, list(named.values()))
+        if self.telemetry.enabled:
+            self.telemetry.emit(
+                TuningDecided(
+                    time=self.engine.now,
+                    round=self._rounds.rounds_run,
+                    changed=bool(decision.tuned),
+                    reporting=len(named),
+                    average=decision.average,
+                    tuned=dict(decision.tuned),
+                )
+            )
         if decision.tuned:
             new_shares = dict(self.shares)
             new_shares.update(decision.new_shares)

@@ -1,0 +1,72 @@
+"""Shared simulation-harness core.
+
+One implementation of the pieces every harness in this repository was
+duplicating: arrival scheduling (:mod:`.arrivals`), the delegate tuning
+loop (:mod:`.loop`), the run-result shape (:mod:`.result`), a structured
+telemetry event stream (:mod:`.telemetry`), and the :class:`Scenario`
+assembly that runs one experiment description through any of the three
+harness stacks (:mod:`.scenario`).
+"""
+
+from .arrivals import ArrivalPump, schedule_all
+from .loop import DelegateRoundDriver, TuningHost, TuningLoop
+from .result import SimResult, summarize_collector
+from .telemetry import (
+    NULL_SINK,
+    CallbackSink,
+    DelegateElected,
+    FaultInjected,
+    JsonlSink,
+    MemorySink,
+    MoveFinished,
+    MoveStarted,
+    NullSink,
+    RequestArrived,
+    RequestCompleted,
+    RequestDispatched,
+    TeeSink,
+    TelemetryRecord,
+    TelemetrySink,
+    TuningDecided,
+    read_jsonl,
+    record_from_dict,
+)
+
+__all__ = [
+    "ArrivalPump",
+    "schedule_all",
+    "DelegateRoundDriver",
+    "TuningHost",
+    "TuningLoop",
+    "SimResult",
+    "summarize_collector",
+    "Scenario",
+    "NULL_SINK",
+    "CallbackSink",
+    "DelegateElected",
+    "FaultInjected",
+    "JsonlSink",
+    "MemorySink",
+    "MoveFinished",
+    "MoveStarted",
+    "NullSink",
+    "RequestArrived",
+    "RequestCompleted",
+    "RequestDispatched",
+    "TeeSink",
+    "TelemetryRecord",
+    "TelemetrySink",
+    "TuningDecided",
+    "read_jsonl",
+    "record_from_dict",
+]
+
+
+def __getattr__(name: str):
+    # Scenario imports the harness packages, which import repro.runtime —
+    # resolve it lazily to keep the package import-cycle free.
+    if name == "Scenario":
+        from .scenario import Scenario
+
+        return Scenario
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

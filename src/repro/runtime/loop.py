@@ -1,0 +1,180 @@
+"""The shared tuning-round driver behind every harness.
+
+The paper's delegate loop — collect per-server latency reports each
+interval, compute a tuning decision, realize the resulting assignment
+diff as shared-disk moves — was re-implemented three times in this
+repository (queueing cluster, timed full system, message-level protocol).
+This module owns that loop once:
+
+- :class:`TuningLoop` drives periodic rounds on an engine: it asks its
+  host to build a :class:`~repro.placement.base.TuningContext`, invokes
+  the host's decision function (``PlacementPolicy.update`` or a delegate
+  tuner), tracks the previous interval's reports for the divergent
+  heuristic, realizes assignment diffs through the host's movement layer,
+  and handles membership changes (faults, commission) by resetting report
+  history and re-placing through ``PlacementPolicy.on_membership_change``;
+- :class:`DelegateRoundDriver` is the smaller kernel shared with the
+  message-driven protocol (:mod:`repro.proto.node`), where round cadence
+  is governed by heartbeats and elections rather than a timer: stateless
+  :class:`~repro.core.tuning.DelegateTuner` invocation plus
+  previous-report bookkeeping.
+
+Every scheduling decision here replicates the pre-runtime harnesses
+exactly (same event priorities, same reschedule conditions, same RNG
+usage), so seeded runs replay bit-identically through the refactor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol, Sequence
+
+from ..core.tuning import DelegateTuner, ServerReport, TuningDecision
+from ..sim.engine import Engine
+from ..sim.events import PRIORITY_LATE
+from .telemetry import NULL_SINK, TelemetrySink, TuningDecided
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..placement.base import TuningContext
+
+__all__ = ["TuningHost", "TuningLoop", "DelegateRoundDriver"]
+
+
+class TuningHost(Protocol):
+    """What a harness provides for :class:`TuningLoop` to drive it."""
+
+    def build_tuning_context(
+        self,
+        now: float,
+        interval: float,
+        previous_reports: Sequence[ServerReport] | None,
+    ) -> "TuningContext":
+        """Assemble this round's context (reports, assignment, rng, ...)."""
+
+    def decide(
+        self, context: "TuningContext"
+    ) -> tuple[dict[str, str] | None, TuningDecision | None]:
+        """Compute (and validate) the new assignment, or ``None`` to keep
+        the current one.  The second element carries the delegate's
+        decision detail when the host surfaces one (telemetry)."""
+
+    def realize(self, old: dict[str, str], new: dict[str, str]) -> None:
+        """Turn an assignment diff into movement on the harness's engine."""
+
+    def membership_assignment(self) -> tuple[dict[str, str], dict[str, str]]:
+        """(old, new) assignments after a membership change (fault path)."""
+
+
+class TuningLoop:
+    """Periodic delegate rounds on a discrete-event engine.
+
+    The loop owns round cadence and report history; everything
+    harness-specific (how reports are measured, what "realize" means)
+    lives behind the :class:`TuningHost` protocol.
+    """
+
+    def __init__(
+        self,
+        engine: Engine,
+        interval: float,
+        duration: float,
+        host: TuningHost,
+        telemetry: TelemetrySink = NULL_SINK,
+        priority: int = PRIORITY_LATE,
+    ) -> None:
+        if interval <= 0:
+            raise ValueError(f"tuning interval must be positive, got {interval!r}")
+        self.engine = engine
+        self.interval = interval
+        #: Rounds stop rescheduling once ``now + interval`` passes this.
+        self.duration = duration
+        self.host = host
+        self.telemetry = telemetry
+        self.rounds = 0
+        self.previous_reports: list[ServerReport] | None = None
+        self._priority = priority
+
+    # ------------------------------------------------------------------
+    def start(self, first_round_at: float) -> None:
+        """Schedule the first round at an absolute simulated time."""
+        self.engine.schedule_at(
+            first_round_at, self._round, priority=self._priority
+        )
+
+    def _round(self) -> None:
+        now = self.engine.now
+        context = self.host.build_tuning_context(
+            now, self.interval, self.previous_reports
+        )
+        self.rounds += 1
+        new_assignment, decision = self.host.decide(context)
+        self.previous_reports = list(context.reports)
+        sink = self.telemetry
+        if sink.enabled:
+            sink.emit(
+                TuningDecided(
+                    time=now,
+                    round=self.rounds,
+                    changed=new_assignment is not None,
+                    reporting=sum(
+                        1 for r in context.reports if r.request_count > 0
+                    ),
+                    average=decision.average if decision is not None else None,
+                    tuned=dict(decision.tuned) if decision is not None else {},
+                )
+            )
+        if new_assignment is not None:
+            self.host.realize(dict(context.assignment), new_assignment)
+        if now + self.interval <= self.duration:
+            self.engine.schedule(
+                self.interval, self._round, priority=self._priority
+            )
+
+    # ------------------------------------------------------------------
+    def reset_history(self) -> None:
+        """Forget the previous interval's reports (delegate fail-over)."""
+        self.previous_reports = None
+
+    def membership_changed(self) -> None:
+        """Re-place after a server-set change and drop report history.
+
+        Latency history straddles the membership change, so the next
+        round starts fresh — the paper's stateless recovery.
+        """
+        old, new = self.host.membership_assignment()
+        self.previous_reports = None
+        self.host.realize(old, new)
+
+
+class DelegateRoundDriver:
+    """Stateless-tuner invocation plus previous-report bookkeeping.
+
+    Shared by hosts whose decision function is a raw
+    :class:`DelegateTuner` (the timed full-system harness) and by the
+    message-level delegate (:class:`repro.proto.node.ServerNode`), whose
+    round cadence is protocol-driven.  Reports from servers absent this
+    round are filtered out of the previous set, so the divergent gate
+    only ever compares a server against its own history.
+    """
+
+    def __init__(self, tuner: DelegateTuner) -> None:
+        self.tuner = tuner
+        self.previous_reports: list[ServerReport] | None = None
+        self.rounds_run = 0
+
+    def compute(
+        self,
+        shares: dict[str, float],
+        reports: Sequence[ServerReport],
+    ) -> TuningDecision:
+        """One delegate round over ``reports``; updates report history."""
+        previous: list[ServerReport] | None = None
+        if self.previous_reports is not None:
+            previous = [r for r in self.previous_reports if r.name in shares]
+        decision = self.tuner.compute(shares, list(reports), previous)
+        self.previous_reports = list(reports)
+        self.rounds_run += 1
+        return decision
+
+    def reset(self) -> None:
+        """Forget history (new delegate, membership change)."""
+        self.previous_reports = None

@@ -1,0 +1,306 @@
+"""Structured telemetry: typed simulation events with pluggable sinks.
+
+Every harness built on :mod:`repro.runtime` emits the same stream of typed
+records — request arrival/dispatch/completion, tuning decisions, file-set
+move start/finish, fault injection, delegate election — so metrics and
+experiment tooling consume one well-defined surface instead of reaching
+into simulation internals.
+
+Telemetry is strictly *observational*: emitting a record draws no random
+numbers and schedules no events, so enabling a sink never perturbs a
+seeded replay.  The default :data:`NULL_SINK` is disabled; harness code
+guards every emission with ``if sink.enabled:`` so a silent run skips even
+record construction and stays within measurement noise of the
+pre-telemetry hot path (gated by ``benchmarks/bench_runtime.py``).
+
+Sinks:
+
+- :class:`MemorySink` — in-process list with query helpers (tests, metrics);
+- :class:`JsonlSink` — one JSON object per line for offline analysis;
+- :data:`NULL_SINK` — the disabled default.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, ClassVar, IO, Iterable, Iterator
+
+from ..units import Seconds
+
+__all__ = [
+    "TelemetryRecord",
+    "RequestArrived",
+    "RequestDispatched",
+    "RequestCompleted",
+    "TuningDecided",
+    "MoveStarted",
+    "MoveFinished",
+    "FaultInjected",
+    "DelegateElected",
+    "TelemetrySink",
+    "NullSink",
+    "NULL_SINK",
+    "MemorySink",
+    "JsonlSink",
+    "record_from_dict",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class TelemetryRecord:
+    """Base class of every telemetry record: a timestamped observation."""
+
+    #: Discriminator used by :meth:`to_dict` / :func:`record_from_dict`.
+    kind: ClassVar[str] = "record"
+
+    time: Seconds
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-serializable dict, ``kind`` included."""
+        payload = asdict(self)
+        payload["kind"] = self.kind
+        return payload
+
+
+@dataclass(frozen=True, slots=True)
+class RequestArrived(TelemetryRecord):
+    """A request (or semantic operation) entered the system."""
+
+    kind: ClassVar[str] = "arrival"
+
+    fileset: str
+    cost: float
+
+
+@dataclass(frozen=True, slots=True)
+class RequestDispatched(TelemetryRecord):
+    """A request was submitted to a server's queue."""
+
+    kind: ClassVar[str] = "dispatch"
+
+    fileset: str
+    server: str
+    service_time: Seconds
+
+
+@dataclass(frozen=True, slots=True)
+class RequestCompleted(TelemetryRecord):
+    """A request finished service; ``latency`` is the harness's metric."""
+
+    kind: ClassVar[str] = "completion"
+
+    server: str
+    latency: Seconds
+
+
+@dataclass(frozen=True, slots=True)
+class TuningDecided(TelemetryRecord):
+    """One delegate round concluded (whether or not anything changed)."""
+
+    kind: ClassVar[str] = "tuning"
+
+    round: int
+    changed: bool
+    #: Servers that actually reported this round.
+    reporting: int
+    #: System average latency the tuner computed (None when the driver
+    #: does not surface it, e.g. opaque policies).
+    average: float | None = None
+    #: server -> multiplicative share factor applied (empty if untuned).
+    tuned: dict[str, float] = field(default_factory=dict)
+
+
+@dataclass(frozen=True, slots=True)
+class MoveStarted(TelemetryRecord):
+    """A file set began moving over the shared disk."""
+
+    kind: ClassVar[str] = "move-start"
+
+    fileset: str
+    source: str | None
+    destination: str
+
+
+@dataclass(frozen=True, slots=True)
+class MoveFinished(TelemetryRecord):
+    """A file-set move completed; ownership now rests at ``destination``."""
+
+    kind: ClassVar[str] = "move-finish"
+
+    fileset: str
+    destination: str
+
+
+@dataclass(frozen=True, slots=True)
+class FaultInjected(TelemetryRecord):
+    """A scheduled fault/membership event was applied."""
+
+    kind: ClassVar[str] = "fault"
+
+    fault: str  # FaultKind.value: fail / recover / commission / ...
+    server: str
+
+
+@dataclass(frozen=True, slots=True)
+class DelegateElected(TelemetryRecord):
+    """A node won a delegate election (proto control plane)."""
+
+    kind: ClassVar[str] = "election"
+
+    delegate: str
+    epoch: int
+
+
+_RECORD_TYPES: dict[str, type[TelemetryRecord]] = {
+    cls.kind: cls
+    for cls in (
+        RequestArrived,
+        RequestDispatched,
+        RequestCompleted,
+        TuningDecided,
+        MoveStarted,
+        MoveFinished,
+        FaultInjected,
+        DelegateElected,
+    )
+}
+
+
+def record_from_dict(payload: dict[str, Any]) -> TelemetryRecord:
+    """Inverse of :meth:`TelemetryRecord.to_dict` (JSONL round trip)."""
+    data = dict(payload)
+    kind = data.pop("kind")
+    try:
+        cls = _RECORD_TYPES[kind]
+    except KeyError:
+        raise ValueError(f"unknown telemetry record kind {kind!r}") from None
+    return cls(**data)
+
+
+class TelemetrySink:
+    """Receives telemetry records from a harness.
+
+    ``enabled`` is a class-level constant the hot path checks before even
+    constructing a record; subclasses that want the stream leave it True.
+    """
+
+    enabled: ClassVar[bool] = True
+
+    def emit(self, record: TelemetryRecord) -> None:  # pragma: no cover
+        """Receive one record (subclasses decide what to do with it)."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any resources (no-op by default)."""
+
+
+class NullSink(TelemetrySink):
+    """The disabled default: records are never constructed, never stored."""
+
+    enabled: ClassVar[bool] = False
+
+    def emit(self, record: TelemetryRecord) -> None:
+        """Drop the record (never called on the guarded hot path)."""
+
+
+#: Shared disabled sink; harnesses default to this.
+NULL_SINK = NullSink()
+
+
+class MemorySink(TelemetrySink):
+    """Collects records in memory, with small query helpers."""
+
+    def __init__(self) -> None:
+        self.records: list[TelemetryRecord] = []
+
+    def emit(self, record: TelemetryRecord) -> None:
+        """Append the record to the in-memory list."""
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self) -> Iterator[TelemetryRecord]:
+        return iter(self.records)
+
+    def of_kind(self, kind: str) -> list[TelemetryRecord]:
+        """All records with the given ``kind`` discriminator, in order."""
+        return [r for r in self.records if r.kind == kind]
+
+    def counts(self) -> dict[str, int]:
+        """kind -> number of records."""
+        out: dict[str, int] = {}
+        for record in self.records:
+            out[record.kind] = out.get(record.kind, 0) + 1
+        return out
+
+
+class JsonlSink(TelemetrySink):
+    """Writes one JSON object per record to a file (offline analysis)."""
+
+    def __init__(self, target: str | IO[str]) -> None:
+        if isinstance(target, str):
+            self._file: IO[str] = open(target, "w", encoding="utf-8")
+            self._owns_file = True
+        else:
+            self._file = target
+            self._owns_file = False
+
+    def emit(self, record: TelemetryRecord) -> None:
+        """Serialize the record as one sorted-key JSON line."""
+        self._file.write(json.dumps(record.to_dict(), sort_keys=True))
+        self._file.write("\n")
+
+    def close(self) -> None:
+        self._file.flush()
+        if self._owns_file:
+            self._file.close()
+
+    def __enter__(self) -> "JsonlSink":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+
+def read_jsonl(source: str | Iterable[str]) -> list[TelemetryRecord]:
+    """Parse records back from a JSONL file path or iterable of lines.
+
+    Accepts the same ``str`` path / open-file duality as
+    :class:`JsonlSink`, so ``read_jsonl(path)`` round-trips what
+    ``JsonlSink(path)`` wrote.  Blank lines are skipped.
+    """
+    if isinstance(source, str):
+        with open(source, "r", encoding="utf-8") as file:
+            return [
+                record_from_dict(json.loads(ln)) for ln in file if ln.strip()
+            ]
+    return [record_from_dict(json.loads(ln)) for ln in source if ln.strip()]
+
+
+class TeeSink(TelemetrySink):
+    """Fans one stream out to several sinks (e.g. memory + JSONL)."""
+
+    def __init__(self, *sinks: TelemetrySink) -> None:
+        self.sinks = tuple(s for s in sinks if s.enabled)
+
+    def emit(self, record: TelemetryRecord) -> None:
+        """Forward the record to every enabled child sink."""
+        for sink in self.sinks:
+            sink.emit(record)
+
+    def close(self) -> None:
+        for sink in self.sinks:
+            sink.close()
+
+
+class CallbackSink(TelemetrySink):
+    """Invokes a callable per record (lightweight custom consumers)."""
+
+    def __init__(self, fn: Callable[[TelemetryRecord], None]) -> None:
+        self._fn = fn
+
+    def emit(self, record: TelemetryRecord) -> None:
+        """Hand the record to the wrapped callable."""
+        self._fn(record)

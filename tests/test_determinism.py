@@ -111,6 +111,66 @@ def test_full_system_simulation_replays_bit_identically():
     assert _series_fingerprint(a.series) == _series_fingerprint(b.series)
 
 
+def test_tuning_context_rng_fallback_is_deprecated():
+    """Omitting rng warns loudly (the old silent seed-0 default trap)."""
+    import warnings
+
+    import pytest
+
+    from repro.placement.base import TuningContext
+
+    with pytest.warns(DeprecationWarning, match="explicit rng"):
+        ctx = TuningContext(
+            time=0.0, filesets=[], servers=["s0"], assignment={}, reports=[]
+        )
+    assert ctx.rng is not None  # the fallback still works, just loudly
+    with warnings.catch_warnings():
+        warnings.simplefilter("error")  # an explicit rng must stay silent
+        TuningContext(
+            time=0.0, filesets=[], servers=["s0"], assignment={}, reports=[],
+            rng=np.random.default_rng(1),
+        )
+
+
+def test_harness_contexts_carry_the_run_seeded_policy_stream():
+    """The runtime loop plumbs the sim's own policy stream into every
+    context — two sims with different seeds must never share policy
+    randomness (the regression behind the old default_factory)."""
+
+    class ProbePolicy(ANUPolicy):
+        def __init__(self):
+            super().__init__()
+            self.rngs = []
+
+        def update(self, context):
+            self.rngs.append(context.rng)
+            return super().update(context)
+
+    def run(seed):
+        trace = generate_synthetic(
+            SyntheticConfig(
+                n_filesets=10, n_requests=500, duration=300.0, seed=seed
+            )
+        )
+        policy = ProbePolicy()
+        sim = ClusterSimulation(
+            ClusterConfig(servers=paper_servers(), seed=seed), policy, trace
+        )
+        sim.run()
+        return sim, policy
+
+    sim_a, probe_a = run(seed=0)
+    sim_b, probe_b = run(seed=1)
+    assert probe_a.rngs and probe_b.rngs
+    assert all(r is sim_a._policy_rng for r in probe_a.rngs)
+    assert all(r is sim_b._policy_rng for r in probe_b.rngs)
+    # Different run seeds => streams in different states, not clones.
+    assert (
+        probe_a.rngs[0].bit_generator.state
+        != probe_b.rngs[0].bit_generator.state
+    )
+
+
 def test_trace_generation_is_deterministic():
     cfg = SyntheticConfig(n_filesets=25, n_requests=2000, duration=500.0, seed=3)
     t1 = generate_synthetic(cfg)

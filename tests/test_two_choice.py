@@ -76,9 +76,12 @@ def test_static_update():
     from repro.placement.base import TuningContext
     from repro.core.tuning import ServerReport
 
+    import numpy as np
+
     ctx = TuningContext(
         time=1.0, filesets=FILESETS, servers=SERVERS, assignment=a,
         reports=[ServerReport(s, 0.1, 10) for s in SERVERS],
+        rng=np.random.default_rng(0),
     )
     assert pol.update(ctx) is None
 
