@@ -27,7 +27,13 @@ from typing import Any, Callable, Iterator
 from .timing import BenchTimer, TimerConfig
 
 #: Suites run (and gated) by default: the hot-path microbenchmarks.
-DEFAULT_SUITES = ("micro_core", "micro_sim", "fs_substrate", "runtime")
+DEFAULT_SUITES = (
+    "micro_core",
+    "micro_sim",
+    "fs_substrate",
+    "runtime",
+    "membership",
+)
 
 #: Fixture names the runner can inject, beyond parametrized arguments.
 _INJECTABLE = ("benchmark", "quick")

@@ -39,6 +39,9 @@ from typing import Mapping, Sequence
 from ..contracts import checks_invariants
 from ..core.movement import MovementLedger, diff_assignment
 from ..core.tuning import ServerReport, TuningDecision
+from ..membership.director import MembershipDirector
+from ..membership.faults import FaultEvent, FaultSchedule
+from ..membership.lifecycle import MembershipRoster
 from ..metrics.latency import LatencyCollector
 from ..placement.base import PlacementPolicy, TuningContext, validate_assignment
 from ..runtime.arrivals import ArrivalPump
@@ -46,7 +49,6 @@ from ..runtime.loop import TuningLoop
 from ..runtime.result import SimResult, summarize_collector
 from ..runtime.telemetry import (
     NULL_SINK,
-    FaultInjected,
     MoveFinished,
     MoveStarted,
     RequestArrived,
@@ -57,8 +59,8 @@ from ..runtime.telemetry import (
 from ..sim.engine import Engine
 from ..sim.events import PRIORITY_EARLY
 from ..sim.rng import StreamFactory
+from ..units import Seconds
 from ..workloads.trace import Trace, TraceRecord
-from .faults import FaultEvent, FaultKind, FaultSchedule
 from .fileset import FileSetState
 from .mover import FileSetMover, MoveCostModel
 from .request import MetadataRequest
@@ -122,8 +124,11 @@ class RunResult(SimResult):
 class ClusterSimulation:
     """One simulated run of a placement policy against a trace.
 
-    Implements :class:`repro.runtime.loop.TuningHost`: the shared
-    :class:`TuningLoop` drives its delegate rounds and membership changes.
+    Implements :class:`repro.runtime.loop.TuningHost` (the shared
+    :class:`TuningLoop` drives its delegate rounds) and
+    :class:`repro.membership.director.MembershipHost` (the
+    :class:`MembershipDirector` applies fault/membership events through
+    the lifecycle state machine).
     """
 
     def __init__(
@@ -151,6 +156,15 @@ class ClusterSimulation:
         self.servers: dict[str, MetadataServer] = {
             spec.name: MetadataServer(self.engine, spec) for spec in config.servers
         }
+        self.roster = MembershipRoster(
+            {spec.name: spec.speed for spec in config.servers}
+        )
+        self.director = MembershipDirector(
+            self.roster,
+            host=self,
+            telemetry=self.telemetry,
+            clock=lambda: Seconds(self.engine.now),
+        )
         self.collector = LatencyCollector()
         for name in self.servers:
             self.collector.ensure_server(name)
@@ -179,7 +193,7 @@ class ClusterSimulation:
     # ------------------------------------------------------------------
     @property
     def live_servers(self) -> list[str]:
-        return sorted(n for n, s in self.servers.items() if s.alive)
+        return self.roster.live()
 
     @property
     def tuning_rounds(self) -> int:
@@ -400,52 +414,43 @@ class ClusterSimulation:
             self._route(request)
 
     # ------------------------------------------------------------------
-    # Faults and membership
+    # Faults and membership (MembershipHost protocol, driven by director)
     # ------------------------------------------------------------------
+    @checks_invariants
     def _on_fault(self, event: FaultEvent) -> None:
-        kind = event.kind
-        sink = self.telemetry
-        if sink.enabled:
-            sink.emit(
-                FaultInjected(
-                    time=self.engine.now, fault=kind.value, server=event.server
-                )
-            )
-        if kind is FaultKind.DELEGATE_CRASH:
-            self.loop.reset_history()
-            fail_delegate = getattr(self.policy, "fail_delegate", None)
-            if fail_delegate is not None:
-                fail_delegate()
-            return
-        if kind is FaultKind.FAIL:
-            orphans = self.servers[event.server].fail()
-            self.retries += len(orphans)
-            self._membership_changed()
-            for request in orphans:
-                self._route(request)
-            return
-        if kind is FaultKind.DECOMMISSION:
-            # Graceful: stop routing new work there (membership change moves
-            # its file sets away); the queue drains naturally.
-            self.servers[event.server].alive = False
-            self._membership_changed()
-            return
-        if kind is FaultKind.RECOVER:
-            self.servers[event.server].recover()
-            self._membership_changed()
-            return
-        if kind is FaultKind.COMMISSION:
-            self._commission(ServerSpec(name=event.server, speed=event.speed))
-            self._membership_changed()
-            return
-        raise AssertionError(f"unhandled fault kind {kind!r}")  # pragma: no cover
+        self.director.apply(event)
+
+    def crash_server(self, server: str, now: Seconds) -> list[MetadataRequest]:
+        """Hard-kill ``server``; queued work is orphaned for re-dispatch."""
+        orphans = self.servers[server].fail()
+        self.retries += len(orphans)
+        return orphans
+
+    def drain_server(self, server: str, now: Seconds) -> None:
+        """Graceful: stop routing new work there (membership change moves
+        its file sets away); the queue drains naturally."""
+        self.servers[server].drain()
+
+    def restart_server(self, server: str, now: Seconds) -> None:
+        """A failed/drained server rejoins with an empty, cold facility."""
+        self.servers[server].recover()
 
     @checks_invariants
-    def _commission(self, spec: ServerSpec) -> None:
+    def install_server(self, server: str, speed: float, now: Seconds) -> None:
         """Register a newly commissioned server (membership change follows)."""
+        spec = ServerSpec(name=server, speed=speed)
         self.servers[spec.name] = MetadataServer(self.engine, spec)
         self.collector.ensure_server(spec.name)
         self.completed.setdefault(spec.name, 0)
+
+    def delegate_failover(self, now: Seconds) -> None:
+        """The tuning delegate fails over: history dies with it (the
+        queueing model elects no concrete node, so no server crashes)."""
+        self.loop.reset_history()
+        fail_delegate = getattr(self.policy, "fail_delegate", None)
+        if fail_delegate is not None:
+            fail_delegate()
+        return None
 
     def membership_assignment(self) -> tuple[dict[str, str], dict[str, str]]:
         """(old, new) assignments after the server set changed."""
@@ -457,9 +462,21 @@ class ClusterSimulation:
         validate_assignment(new, self.trace.fileset_names, live)
         return old, new
 
-    @checks_invariants
-    def _membership_changed(self) -> None:
-        self.loop.membership_changed()
+    def reset_round_history(self) -> None:
+        """Latency history straddles the change; the next round is fresh."""
+        self.loop.reset_history()
+
+    def realize_membership(
+        self, old: dict[str, str], new: dict[str, str], now: Seconds
+    ) -> None:
+        """Membership-triggered moves realize exactly like tuning moves."""
+        self.realize(old, new)
+
+    def reinject(self, orphans: list[MetadataRequest], now: Seconds) -> None:
+        """Re-dispatch crash orphans (after re-placement, so they follow
+        their file sets to the new owners)."""
+        for request in orphans:
+            self._route(request)
 
     # ------------------------------------------------------------------
     # Results

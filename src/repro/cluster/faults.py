@@ -1,100 +1,16 @@
-"""Fault and membership schedules.
+"""Compatibility re-export of the membership fault vocabulary.
 
-The paper treats failure/recovery and decommission/commission uniformly
-(§4: "the framework treats commissioning or decommissioning servers the
-same as a recovery or failure").  A :class:`FaultSchedule` is a list of
-timed membership events the cluster simulation applies; tests and the
-failure experiments build them declaratively.
+The fault/membership event types grew into a harness-independent
+subsystem and now live in :mod:`repro.membership.faults`; this module
+keeps the historical ``repro.cluster.faults`` import path working.  New
+code should import from :mod:`repro.membership` directly.
 """
 
-from __future__ import annotations
+from ..membership.faults import (  # noqa: F401
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    apply_event,
+)
 
-import enum
-from dataclasses import dataclass, field
-
-
-class FaultKind(enum.Enum):
-    """What happens to the server at the scheduled time."""
-
-    FAIL = "fail"          # crash: queued work is lost and re-dispatched
-    RECOVER = "recover"    # a previously failed server rejoins
-    COMMISSION = "commission"      # a brand-new server joins
-    DECOMMISSION = "decommission"  # graceful removal (queue drains first)
-    DELEGATE_CRASH = "delegate-crash"  # the tuning delegate fails over
-
-
-@dataclass(frozen=True)
-class FaultEvent:
-    """One scheduled membership/fault event."""
-
-    time: float
-    kind: FaultKind
-    server: str
-    #: Speed for COMMISSION events (ignored otherwise).
-    speed: float = 1.0
-
-    def __post_init__(self) -> None:
-        if self.time < 0:
-            raise ValueError(f"negative event time {self.time!r}")
-        if self.kind is FaultKind.COMMISSION and self.speed <= 0:
-            raise ValueError(f"commissioned server needs positive speed")
-
-
-@dataclass
-class FaultSchedule:
-    """A time-ordered set of fault events."""
-
-    events: list[FaultEvent] = field(default_factory=list)
-
-    def add(self, event: FaultEvent) -> "FaultSchedule":
-        """Insert an event, keeping the schedule time-ordered."""
-        self.events.append(event)
-        self.events.sort(key=lambda e: (e.time, e.server))
-        return self
-
-    def fail(self, time: float, server: str) -> "FaultSchedule":
-        """Schedule a crash of ``server`` at ``time``."""
-        return self.add(FaultEvent(time, FaultKind.FAIL, server))
-
-    def recover(self, time: float, server: str) -> "FaultSchedule":
-        """Schedule a recovery of a failed/decommissioned ``server``."""
-        return self.add(FaultEvent(time, FaultKind.RECOVER, server))
-
-    def commission(self, time: float, server: str, speed: float) -> "FaultSchedule":
-        """Schedule a brand-new server joining at ``time``."""
-        return self.add(FaultEvent(time, FaultKind.COMMISSION, server, speed))
-
-    def decommission(self, time: float, server: str) -> "FaultSchedule":
-        """Schedule a graceful removal of ``server`` at ``time``."""
-        return self.add(FaultEvent(time, FaultKind.DECOMMISSION, server))
-
-    def delegate_crash(self, time: float) -> "FaultSchedule":
-        """Schedule a tuning-delegate fail-over at ``time``."""
-        return self.add(FaultEvent(time, FaultKind.DELEGATE_CRASH, server="*"))
-
-    def __iter__(self):
-        return iter(self.events)
-
-    def __len__(self) -> int:
-        return len(self.events)
-
-    def validate(self, initial_servers: set[str]) -> None:
-        """Check the schedule is consistent (no double-fail, etc.)."""
-        up = set(initial_servers)
-        known = set(initial_servers)
-        for ev in self.events:
-            if ev.kind is FaultKind.FAIL or ev.kind is FaultKind.DECOMMISSION:
-                if ev.server not in up:
-                    raise ValueError(f"{ev.kind.value} of down/unknown {ev.server!r}")
-                up.remove(ev.server)
-            elif ev.kind is FaultKind.RECOVER:
-                if ev.server not in known or ev.server in up:
-                    raise ValueError(f"recover of unknown/up server {ev.server!r}")
-                up.add(ev.server)
-            elif ev.kind is FaultKind.COMMISSION:
-                if ev.server in known:
-                    raise ValueError(f"commission of existing server {ev.server!r}")
-                known.add(ev.server)
-                up.add(ev.server)
-            if not up:
-                raise ValueError("schedule leaves the cluster with no servers")
+__all__ = ["FaultKind", "FaultEvent", "FaultSchedule", "apply_event"]

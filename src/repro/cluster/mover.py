@@ -20,6 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..sim.engine import Engine
+from ..units import Seconds
 from .fileset import FileSetState
 
 
@@ -27,8 +28,8 @@ from .fileset import FileSetState
 class MoveCostModel:
     """Cost parameters for moving a file set over the shared disk."""
 
-    min_delay: float = 5.0
-    max_delay: float = 10.0
+    min_delay: Seconds = Seconds(5.0)
+    max_delay: Seconds = Seconds(10.0)
     cold_requests: int = 32
     cold_multiplier: float = 2.0
 
@@ -43,7 +44,9 @@ class MoveCostModel:
 
 
 #: A zero-cost model for pure-placement experiments (no simulator effects).
-FREE_MOVES = MoveCostModel(min_delay=0.0, max_delay=0.0, cold_requests=0)
+FREE_MOVES = MoveCostModel(
+    min_delay=Seconds(0.0), max_delay=Seconds(0.0), cold_requests=0
+)
 
 
 class FileSetMover:
@@ -61,11 +64,13 @@ class FileSetMover:
         self.moves_started = 0
         self.moves_completed = 0
 
-    def sample_delay(self) -> float:
+    def sample_delay(self) -> Seconds:
         """One flush+initialize delay draw from the cost model."""
         if self.cost.max_delay == self.cost.min_delay:
             return self.cost.min_delay
-        return float(self.rng.uniform(self.cost.min_delay, self.cost.max_delay))
+        return Seconds(
+            float(self.rng.uniform(self.cost.min_delay, self.cost.max_delay))
+        )
 
     def start_move(self, state: FileSetState, target: str, on_complete) -> None:
         """Begin moving ``state`` to ``target``.

@@ -23,10 +23,12 @@ from typing import Mapping, Sequence
 from ..core.anu import ANUPlacement
 from ..core.hashing import HashFamily
 from ..core.tuning import TuningConfig
+from ..membership.faults import FaultEvent, FaultKind, FaultSchedule
 from ..placement.base import PlacementPolicy, TuningContext
 from ..proto.network import Network, NetworkConfig
 from ..proto.node import ProtocolConfig, ServerNode
 from ..runtime.telemetry import TelemetrySink
+from ..sim.events import PRIORITY_EARLY
 from ..sim.rng import StreamFactory
 from ..workloads.trace import Trace
 from .cluster import ClusterConfig, ClusterSimulation, RunResult
@@ -90,6 +92,7 @@ class ProtocolDrivenCluster:
         network: NetworkConfig | None = None,
         delegate_crash_times: Sequence[float] = (),
         telemetry: TelemetrySink | None = None,
+        faults: FaultSchedule | None = None,
     ) -> None:
         self.config = config
         self.policy = PassiveANUPolicy()
@@ -97,13 +100,15 @@ class ProtocolDrivenCluster:
         # simulation plus protocol-level records (elections, delegate
         # rounds) from the nodes.
         self.sim = ClusterSimulation(
-            config, self.policy, trace, telemetry=telemetry
+            config, self.policy, trace, faults=faults, telemetry=telemetry
         )
         factory = StreamFactory(config.seed).spawn("protocol")
         self.network = Network(self.sim.engine, factory.stream("network"), network)
         self.protocol = protocol or ProtocolConfig(
             tuning_interval=config.tuning_interval
         )
+        self._tuning = tuning
+        self._telemetry = telemetry
         self._applied_epoch = -1
         self.config_updates_applied = 0
         self.delegate_history: list[tuple[float, str]] = []
@@ -125,6 +130,15 @@ class ProtocolDrivenCluster:
             self.nodes[name] = node
         for t in delegate_crash_times:
             self.sim.engine.schedule_at(t, self._crash_current_delegate)
+        # Mirror membership events onto the protocol nodes.  The queueing
+        # side is handled by the simulation's own membership director;
+        # these callbacks (scheduled first, so they fire first at equal
+        # times) keep the control plane's node set in step.
+        if faults is not None:
+            for ev in faults:
+                self.sim.engine.schedule_at(
+                    ev.time, self._mirror_fault, ev, priority=PRIORITY_EARLY
+                )
 
     # ------------------------------------------------------------------
     def _make_report_source(self, name: str):
@@ -172,6 +186,35 @@ class ProtocolDrivenCluster:
             if node.is_delegate:
                 node.crash()
                 return
+
+    def _mirror_fault(self, event: FaultEvent) -> None:
+        """Reflect one schedule event on the protocol node set."""
+        kind = event.kind
+        if kind is FaultKind.FAIL:
+            self.nodes[event.server].crash()
+        elif kind is FaultKind.RECOVER:
+            self.nodes[event.server].recover()
+        elif kind is FaultKind.DECOMMISSION:
+            self.nodes[event.server].shutdown()
+        elif kind is FaultKind.COMMISSION:
+            priority = max(n.priority for n in self.nodes.values()) + 1
+            node = ServerNode(
+                name=event.server,
+                priority=priority,
+                engine=self.sim.engine,
+                network=self.network,
+                report_source=self._make_report_source(event.server),
+                on_config=self._apply_config,
+                config=self.protocol,
+                tuning=self._tuning,
+                initial_shares={s: 1.0 for s in sorted(self.nodes)}
+                | {event.server: 1.0},
+                telemetry=self._telemetry,
+            )
+            self.nodes[event.server] = node
+            node.start()
+        elif kind is FaultKind.DELEGATE_CRASH:
+            self._crash_current_delegate()
 
     # ------------------------------------------------------------------
     def run(self) -> ProtocolRunResult:

@@ -82,6 +82,17 @@ class MetadataServer:
             request.retries += 1
         return orphans
 
+    def drain(self) -> None:
+        """Graceful decommission: stop accepting new work, keep serving.
+
+        Unlike :meth:`fail`, the facility stays up so already-queued
+        requests drain naturally; routing simply stops sending work here
+        (``alive`` is the routing gate).
+        """
+        if not self.alive:
+            raise RuntimeError(f"server {self.name!r} already dead")
+        self.alive = False
+
     def recover(self) -> None:
         """Come back up with an empty queue (cache cold; the placement layer
         charges cold-cache penalties per gained file set)."""

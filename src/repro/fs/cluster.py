@@ -21,6 +21,11 @@ from ..core.anu import ANUPlacement
 from ..core.hashing import HashFamily
 from ..core.movement import MovementLedger, diff_assignment
 from ..core.tuning import DelegateTuner, ServerReport, TuningConfig
+from ..membership.director import MembershipDirector
+from ..membership.faults import FaultEvent, FaultKind
+from ..membership.lifecycle import MembershipRoster
+from ..runtime.telemetry import NULL_SINK, TelemetrySink
+from ..units import Seconds
 from . import paths
 from .disk import SharedDisk
 from .namespace import FSError, Namespace
@@ -86,6 +91,7 @@ class MetadataCluster:
         fileset_roots: Mapping[str, str],
         tuning: TuningConfig | None = None,
         hash_family: HashFamily | None = None,
+        telemetry: TelemetrySink | None = None,
     ) -> None:
         self.registry = FileSetRegistry(fileset_roots)
         self.disk = SharedDisk()
@@ -94,6 +100,12 @@ class MetadataCluster:
         }
         if not self.services:
             raise FSError("need at least one server")
+        self.roster = MembershipRoster(sorted(self.services))
+        self.director = MembershipDirector(
+            self.roster,
+            host=self,
+            telemetry=telemetry if telemetry is not None else NULL_SINK,
+        )
         self.placement = ANUPlacement(sorted(self.services), hash_family=hash_family)
         self.tuner = DelegateTuner(tuning)
         self.ledger = MovementLedger()
@@ -211,53 +223,144 @@ class MetadataCluster:
     def fail_server(self, name: str, now: float = 0.0) -> int:
         """Crash a server: its unflushed updates are lost; its file sets
         are re-hashed to survivors, which load the last flushed images."""
-        service = self.services.get(name)
-        if service is None:
+        if name not in self.services:
             raise FSError(f"unknown server {name!r}")
-        service.crash()
-        del self.services[name]
-        self.placement.remove_server(name)
-        self._previous_reports = None
-        # The crashed server's file sets must be re-owned even though the
-        # crash lost the in-memory copies; ownership diff handles it (the
-        # source no longer owns them, so only acquire happens).
-        self._ownership = {
-            fs: owner for fs, owner in self._ownership.items() if owner != name
-        }
-        return self._apply_assignment(
-            self.placement.assignment(self.registry.filesets), now=now
+        change = self.director.apply(
+            FaultEvent(Seconds(now), FaultKind.FAIL, name), now=Seconds(now)
         )
+        return change.moved
 
     @checks_invariants
     def add_server(self, name: str, now: float = 0.0) -> int:
-        """Commission (or recover) a server."""
+        """Commission a brand-new server, or recover a former member.
+
+        The membership roster distinguishes the two: a name this cluster
+        has seen before rejoins as a ``RECOVER`` (legal from both crashed
+        and drained states), an unknown name joins as a ``COMMISSION``.
+        """
         if name in self.services:
             raise FSError(f"server {name!r} already present")
-        self.services[name] = MetadataService(name, self.disk)
-        self.placement.add_server(name)
-        self._previous_reports = None
-        return self._apply_assignment(
-            self.placement.assignment(self.registry.filesets), now=now
+        if name in self.roster:
+            kind = FaultKind.RECOVER
+        else:
+            kind = FaultKind.COMMISSION
+        change = self.director.apply(
+            FaultEvent(Seconds(now), kind, name), now=Seconds(now)
         )
+        return change.moved
 
     @checks_invariants
     def remove_server(self, name: str, now: float = 0.0) -> int:
         """Graceful decommission: flush everything, then re-own."""
-        service = self.services.get(name)
-        if service is None:
+        if name not in self.services:
             raise FSError(f"unknown server {name!r}")
+        change = self.director.apply(
+            FaultEvent(Seconds(now), FaultKind.DECOMMISSION, name),
+            now=Seconds(now),
+        )
+        return change.moved
+
+    # ------------------------------------------------------------------
+    # MembershipHost protocol (driven by self.director)
+    #
+    # These primitives run mid-membership-change, between the roster
+    # transition and the re-placement, so the full check_consistency
+    # (which demands placement agreement) legitimately does not hold yet;
+    # they guarantee the weaker service/ownership referential integrity.
+    # ------------------------------------------------------------------
+    @invariant(
+        lambda self: all(
+            owner in self.services and self.services[owner].owns(fileset)
+            for fileset, owner in self._ownership.items()
+        ),
+        "membership primitive broke service referential integrity",
+    )
+    def crash_server(self, server: str, now: Seconds) -> None:
+        """Hard-kill: unflushed updates die with the in-memory namespace.
+
+        The crashed server's file sets must be re-owned even though the
+        crash lost the in-memory copies; ownership diff handles it (the
+        source no longer owns them, so only acquire happens).
+        """
+        self.services[server].crash()
+        del self.services[server]
+        self.placement.remove_server(server)
+        self._ownership = {
+            fs: owner for fs, owner in self._ownership.items() if owner != server
+        }
+        return None
+
+    @invariant(
+        lambda self: all(
+            owner in self.services and self.services[owner].owns(fileset)
+            for fileset, owner in self._ownership.items()
+        ),
+        "membership primitive broke service referential integrity",
+    )
+    def drain_server(self, server: str, now: Seconds) -> None:
+        """Graceful: flush every namespace, release ownership cleanly."""
+        service = self.services[server]
         service.flush_all(now=now)
         for fileset in service.owned_filesets():
             service.release_fileset(fileset, now=now)
-        del self.services[name]
-        self.placement.remove_server(name)
-        self._previous_reports = None
+        del self.services[server]
+        self.placement.remove_server(server)
         self._ownership = {
-            fs: owner for fs, owner in self._ownership.items() if owner != name
+            fs: owner for fs, owner in self._ownership.items() if owner != server
         }
-        return self._apply_assignment(
-            self.placement.assignment(self.registry.filesets), now=now
+
+    @invariant(
+        lambda self: all(
+            owner in self.services and self.services[owner].owns(fileset)
+            for fileset, owner in self._ownership.items()
+        ),
+        "membership primitive broke service referential integrity",
+    )
+    def restart_server(self, server: str, now: Seconds) -> None:
+        """A former member rejoins empty; images reload from the disk."""
+        self.services[server] = MetadataService(server, self.disk)
+        self.placement.add_server(server)
+
+    @invariant(
+        lambda self: all(
+            owner in self.services and self.services[owner].owns(fileset)
+            for fileset, owner in self._ownership.items()
+        ),
+        "membership primitive broke service referential integrity",
+    )
+    def install_server(self, server: str, speed: float, now: Seconds) -> None:
+        """A brand-new server joins (this harness models no speeds; the
+        placement shares carry any heterogeneity)."""
+        self.services[server] = MetadataService(server, self.disk)
+        self.placement.add_server(server)
+
+    def delegate_failover(self, now: Seconds) -> None:
+        """Tuning here is delegate-less (callers invoke :meth:`retune`
+        directly), so a delegate crash only clears report history."""
+        self._previous_reports = None
+        return None
+
+    def membership_assignment(
+        self,
+    ) -> tuple[dict[str, str], dict[str, str]]:
+        """(old, new): current ownership vs the re-probed placement."""
+        return (
+            dict(self._ownership),
+            self.placement.assignment(self.registry.filesets),
         )
+
+    def reset_round_history(self) -> None:
+        """Report history straddles the membership change; drop it."""
+        self._previous_reports = None
+
+    def realize_membership(
+        self, old: dict[str, str], new: dict[str, str], now: Seconds
+    ) -> None:
+        """Move namespace images over the shared disk per the new map."""
+        self._apply_assignment(new, now=now)
+
+    def reinject(self, orphans: object, now: Seconds) -> None:
+        """Nothing to re-dispatch: operations here are synchronous."""
 
     def checkpoint(self, now: float = 0.0) -> None:
         """Flush every owned namespace on every server (periodic sync)."""
@@ -266,7 +369,14 @@ class MetadataCluster:
 
     # ------------------------------------------------------------------
     def check_consistency(self) -> None:
-        """Assert the ownership map, services, and placement agree."""
+        """Assert the ownership map, services, placement, and the
+        membership roster all agree."""
+        live = set(self.roster.live())
+        if live != set(self.services):
+            raise FSError(
+                f"roster says {sorted(live)!r} live, services are "
+                f"{sorted(self.services)!r}"
+            )
         for fileset, owner in self._ownership.items():
             if owner not in self.services:
                 raise FSError(f"{fileset!r} owned by unknown server {owner!r}")

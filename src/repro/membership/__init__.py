@@ -1,0 +1,49 @@
+"""Unified membership lifecycle subsystem.
+
+One place for everything that changes the server set of a simulated
+cluster, shared by all three harness stacks (queueing, semantic file
+system, message protocol):
+
+- :mod:`.lifecycle` — the per-server state machine
+  (``UP -> DRAINING -> DOWN -> UP``) every membership change is
+  validated against;
+- :mod:`.faults` — the fault/membership event vocabulary
+  (:class:`FaultEvent`, :class:`FaultSchedule`) and the shared
+  replay/validation dispatch;
+- :mod:`.director` — :class:`MembershipDirector`, which applies events
+  to any harness through the :class:`MembershipHost` protocol with
+  identical ordering, telemetry, and move classification;
+- :mod:`.injector` — :class:`FaultInjector`, a seeded stochastic
+  generator of valid fault schedules (per-server exponential MTTF/MTTR
+  plus commission/decommission churn) with an online injection mode;
+- :mod:`.soak` — a chaos-soak CLI that runs randomized schedules
+  through all three stacks and checks cross-stack invariants.
+"""
+
+from .director import MembershipChange, MembershipDirector, MembershipHost
+from .faults import FaultEvent, FaultKind, FaultSchedule, apply_event
+from .injector import CRASH_ONLY, FULL_CHURN, ChaosProfile, FaultInjector
+from .lifecycle import (
+    LifecycleError,
+    MemberRecord,
+    MembershipRoster,
+    ServerState,
+)
+
+__all__ = [
+    "ServerState",
+    "LifecycleError",
+    "MemberRecord",
+    "MembershipRoster",
+    "FaultKind",
+    "FaultEvent",
+    "FaultSchedule",
+    "apply_event",
+    "MembershipHost",
+    "MembershipChange",
+    "MembershipDirector",
+    "ChaosProfile",
+    "FaultInjector",
+    "CRASH_ONLY",
+    "FULL_CHURN",
+]

@@ -1,0 +1,274 @@
+"""Stochastic fault injection: seeded chaos schedules for any harness.
+
+Hand-written :class:`~repro.membership.faults.FaultSchedule`\\ s cover the
+scenarios we thought of; the ROADMAP's robustness goal ("as many scenarios
+as you can imagine") needs the ones we didn't.  :class:`FaultInjector`
+generates *valid* random schedules from per-server failure/repair
+processes plus commission/decommission churn — the same stochastic
+availability methodology Chain Replication uses for its failure/repair
+evaluations — while staying a pure function of ``(servers, profile,
+seed)``:
+
+- every server draws its times to failure and to repair from **its own
+  named stream** (:class:`~repro.sim.rng.StreamFactory`), so adding a
+  server to the fleet never perturbs another server's fault trajectory;
+- churn (decommissions, commissions, delegate crashes) draws from a
+  shared ``churn`` stream;
+- the generator replays every candidate event through the
+  :class:`~repro.membership.lifecycle.MembershipRoster` state machine,
+  skipping candidates that would be illegal (a fail below ``min_live``,
+  a delegate crash without a successor), so the schedule always passes
+  :meth:`FaultSchedule.validate`;
+- commission churn prefers *recovering* a previously drained server over
+  inventing a new one half the time, exercising the documented
+  recover-after-decommission semantics.
+
+Two consumption modes:
+
+- :meth:`FaultInjector.generate` — materialize the whole schedule up
+  front (feeds any harness's ``faults=`` parameter; what
+  :class:`~repro.runtime.scenario.Scenario` uses);
+- :meth:`FaultInjector.inject` — online mode: lazily walk the same event
+  stream on a live engine, sampling each next event only after the
+  previous one fired.  Both modes yield the identical sequence for the
+  same seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Callable, Iterator, Mapping
+
+from ..sim.engine import Engine
+from ..sim.events import PRIORITY_EARLY
+from ..sim.rng import StreamFactory
+from ..units import Seconds
+from .faults import FaultEvent, FaultKind, FaultSchedule, apply_event
+from .lifecycle import MembershipRoster, ServerState
+
+__all__ = ["ChaosProfile", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class ChaosProfile:
+    """Rates of the stochastic fault processes (all times in seconds).
+
+    ``None`` disables a process.  ``mttf``/``mttr`` are per-server
+    exponential means (time to failure while up, time to repair while
+    down); the ``*_every`` fields are exponential means between churn
+    events for the whole cluster.
+    """
+
+    mttf: Seconds | None = Seconds(300.0)
+    mttr: Seconds = Seconds(60.0)
+    decommission_every: Seconds | None = None
+    commission_every: Seconds | None = None
+    delegate_crash_every: Seconds | None = None
+    #: Speed of newly commissioned servers, drawn uniformly.
+    commission_speed: tuple[float, float] = (1.0, 9.0)
+    #: Never drop below this many live servers (>= 1).
+    min_live: int = 2
+    #: Cap on brand-new servers the injector may invent.
+    max_commissions: int = 8
+
+    def __post_init__(self) -> None:
+        for name in ("mttf", "decommission_every", "commission_every",
+                     "delegate_crash_every"):
+            value = getattr(self, name)
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
+        if self.mttr <= 0:
+            raise ValueError(f"mttr must be positive, got {self.mttr!r}")
+        if self.min_live < 1:
+            raise ValueError(f"min_live must be >= 1, got {self.min_live!r}")
+        if self.max_commissions < 0:
+            raise ValueError("max_commissions must be >= 0")
+        low, high = self.commission_speed
+        if not 0 < low <= high:
+            raise ValueError(
+                f"need 0 < low <= high commission speed, got "
+                f"{self.commission_speed!r}"
+            )
+
+
+#: A profile that only crashes and repairs (no churn): pure availability.
+CRASH_ONLY = ChaosProfile()
+
+#: Heavy churn: crashes, repairs, commissions and decommissions all active.
+FULL_CHURN = ChaosProfile(
+    mttf=Seconds(240.0),
+    mttr=Seconds(45.0),
+    decommission_every=Seconds(400.0),
+    commission_every=Seconds(350.0),
+    delegate_crash_every=Seconds(500.0),
+)
+
+
+# Candidate-queue tags; the tuple ordering (time, tag, server) makes the
+# pop order — and therefore the whole schedule — deterministic.
+_FAIL, _RECOVER, _DECOM, _COMMISSION, _DCRASH = (
+    "a-fail", "b-recover", "c-decommission", "d-commission", "e-dcrash",
+)
+
+
+class FaultInjector:
+    """Seeded generator of valid random membership-event schedules."""
+
+    def __init__(
+        self,
+        servers: Mapping[str, float],
+        profile: ChaosProfile | None = None,
+        seed: int = 0,
+    ) -> None:
+        """``servers``: the initial fleet, name -> speed."""
+        if not servers:
+            raise ValueError("need at least one initial server")
+        self.servers = dict(servers)
+        self.profile = profile if profile is not None else CRASH_ONLY
+        self.seed = seed
+        if self.profile.min_live > len(servers):
+            raise ValueError(
+                f"min_live={self.profile.min_live} exceeds the initial "
+                f"fleet of {len(servers)}"
+            )
+        self._streams = StreamFactory(seed).spawn("fault-injector")
+
+    # ------------------------------------------------------------------
+    def generate(self, horizon: Seconds) -> FaultSchedule:
+        """The full schedule over ``[0, horizon)``; valid by construction
+        and identical on every call with the same constructor arguments."""
+        schedule = FaultSchedule()
+        for event in self.events(horizon):
+            schedule.add(event)
+        return schedule
+
+    def inject(
+        self,
+        engine: Engine,
+        apply: Callable[[FaultEvent], object],
+        horizon: Seconds,
+    ) -> None:
+        """Online mode: drive ``apply(event)`` on a live engine.
+
+        Each next event is sampled lazily only after the previous one is
+        applied, so a soak can outlive any pre-materialized schedule; the
+        event sequence is identical to :meth:`generate`'s.
+        """
+        events = self.events(horizon)
+
+        def _chain() -> None:
+            event = next(events, None)
+            if event is not None:
+                engine.schedule_at(
+                    event.time, _fire, event, priority=PRIORITY_EARLY
+                )
+
+        def _fire(event: FaultEvent) -> None:
+            apply(event)
+            _chain()
+
+        _chain()
+
+    # ------------------------------------------------------------------
+    def events(self, horizon: Seconds) -> Iterator[FaultEvent]:
+        """Lazily yield the schedule's events in time order."""
+        profile = self.profile
+        roster = MembershipRoster(self.servers)
+        server_rng = {
+            name: self._streams.stream(f"server:{name}")
+            for name in sorted(self.servers)
+        }
+        churn = self._streams.stream("churn")
+        commissioned = 0
+
+        # Candidate heap of (time, tag, server); invalid candidates are
+        # re-drawn or dropped when popped, against the live roster.
+        heap: list[tuple[float, str, str]] = []
+
+        def draw(rng, mean: Seconds) -> Seconds:
+            return Seconds(float(rng.exponential(mean)))
+
+        def push_fail(name: str, now: Seconds) -> None:
+            if profile.mttf is not None:
+                heapq.heappush(
+                    heap, (now + draw(server_rng[name], profile.mttf),
+                           _FAIL, name)
+                )
+
+        def push_recover(name: str, now: Seconds) -> None:
+            heapq.heappush(
+                heap, (now + draw(server_rng[name], profile.mttr),
+                       _RECOVER, name)
+            )
+
+        def push_churn(tag: str, mean: Seconds | None, now: Seconds) -> None:
+            if mean is not None:
+                heapq.heappush(heap, (now + draw(churn, mean), tag, "*"))
+
+        for name in sorted(self.servers):
+            push_fail(name, Seconds(0.0))
+        push_churn(_DECOM, profile.decommission_every, Seconds(0.0))
+        push_churn(_COMMISSION, profile.commission_every, Seconds(0.0))
+        push_churn(_DCRASH, profile.delegate_crash_every, Seconds(0.0))
+
+        while heap:
+            time, tag, name = heapq.heappop(heap)
+            now = Seconds(time)
+            if now >= horizon:
+                break
+            event: FaultEvent | None = None
+            if tag == _FAIL:
+                if (
+                    roster.is_live(name)
+                    and roster.live_count > profile.min_live
+                ):
+                    event = FaultEvent(now, FaultKind.FAIL, name)
+                    push_recover(name, now)
+                elif roster.is_live(name):
+                    # Too few live servers to lose one; try again later.
+                    push_fail(name, now)
+            elif tag == _RECOVER:
+                if roster.state_of(name) is ServerState.DOWN:
+                    event = FaultEvent(now, FaultKind.RECOVER, name)
+                    push_fail(name, now)
+            elif tag == _DECOM:
+                push_churn(_DECOM, profile.decommission_every, now)
+                candidates = [
+                    s for s in roster.live()
+                    if roster.live_count > profile.min_live
+                ]
+                if candidates:
+                    victim = candidates[int(churn.integers(len(candidates)))]
+                    event = FaultEvent(now, FaultKind.DECOMMISSION, victim)
+            elif tag == _COMMISSION:
+                push_churn(_COMMISSION, profile.commission_every, now)
+                drained = [
+                    s for s in roster.known()
+                    if roster.state_of(s) is ServerState.DRAINING
+                ]
+                if drained and float(churn.random()) < 0.5:
+                    # Exercise recover-after-decommission: bring a drained
+                    # server back instead of inventing a new one.
+                    name = drained[int(churn.integers(len(drained)))]
+                    event = FaultEvent(now, FaultKind.RECOVER, name)
+                    push_fail(name, now)
+                elif commissioned < profile.max_commissions:
+                    low, high = profile.commission_speed
+                    speed = float(churn.uniform(low, high))
+                    fresh = f"chaos{commissioned}"
+                    commissioned += 1
+                    server_rng[fresh] = self._streams.stream(
+                        f"server:{fresh}"
+                    )
+                    event = FaultEvent(
+                        now, FaultKind.COMMISSION, fresh, speed=speed
+                    )
+                    push_fail(fresh, now)
+            elif tag == _DCRASH:
+                push_churn(_DCRASH, profile.delegate_crash_every, now)
+                if roster.live_count >= 2:
+                    event = FaultEvent(now, FaultKind.DELEGATE_CRASH, "*")
+            if event is not None:
+                apply_event(roster, event)
+                yield event

@@ -1,0 +1,210 @@
+"""Per-server membership lifecycle: an explicit, enforced state machine.
+
+The paper's §4 treats every membership change uniformly — "the framework
+treats commissioning or decommissioning servers the same as a recovery or
+failure" — but the reproduction historically tracked liveness with ad-hoc
+``alive`` flags and ``del services[...]`` mutations, each harness slightly
+differently.  This module makes the lifecycle explicit:
+
+.. code-block:: text
+
+          commission
+    (absent) ------> UP ---fail---> DOWN
+                     | ^            ^  |
+        decommission | | recover    |  | recover
+                     v |            |  v
+                  DRAINING --drained-  UP
+
+Legal transitions (everything else raises :class:`LifecycleError`):
+
+- ``commission``: a previously unknown name joins as ``UP``;
+- ``fail``: ``UP -> DOWN`` — a crash; queued work is orphaned;
+- ``decommission``: ``UP -> DRAINING`` — graceful removal; no new work is
+  routed there, the queue drains, file sets move away flushed;
+- ``drained``: ``DRAINING -> DOWN`` — the drain completed;
+- ``recover``: ``DOWN | DRAINING -> UP`` — the server rejoins with a cold
+  cache.  **Recovering after a decommission is legal**: a drained server
+  was removed cleanly, so bringing it back is indistinguishable from a
+  recovery (its images are re-acquired from the shared disk).  This is the
+  semantics :meth:`~repro.membership.faults.FaultSchedule.validate` has
+  always permitted, now stated by the state machine itself.
+
+A :class:`MembershipRoster` tracks one :class:`ServerState` per server and
+is the single source of truth every harness adapter and the fault-schedule
+validator consult, so an illegal event (double fail, recover of an
+up server, commission of a known name) is rejected identically everywhere.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping
+
+__all__ = ["ServerState", "LifecycleError", "MemberRecord", "MembershipRoster"]
+
+
+class ServerState(enum.Enum):
+    """Where a server is in its membership lifecycle."""
+
+    UP = "up"              #: serving; counted live for routing and placement
+    DRAINING = "draining"  #: decommissioned; queue drains, no new work
+    DOWN = "down"          #: crashed or fully drained; may recover
+
+
+class LifecycleError(ValueError):
+    """An event requested an illegal lifecycle transition."""
+
+
+@dataclass
+class MemberRecord:
+    """One server's roster entry."""
+
+    name: str
+    state: ServerState
+    speed: float = 1.0
+
+
+class MembershipRoster:
+    """The per-server state machine behind every membership change.
+
+    The roster never forgets a server: a failed or drained member stays
+    ``DOWN`` so a later ``recover`` can validate against its history
+    (and a ``commission`` of the same name can be rejected as a
+    duplicate).  ``live()`` is always returned sorted, so any iteration
+    over membership is deterministic.
+    """
+
+    def __init__(
+        self, servers: Mapping[str, float] | Iterable[str] = ()
+    ) -> None:
+        """``servers``: initial ``UP`` members — name -> speed mapping, or
+        an iterable of names (speed 1.0)."""
+        self._members: dict[str, MemberRecord] = {}
+        if isinstance(servers, Mapping):
+            for name, speed in servers.items():
+                self.commission(name, speed)
+        else:
+            for name in servers:
+                self.commission(name, 1.0)
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._members
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(sorted(self._members))
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def state_of(self, name: str) -> ServerState:
+        """Current lifecycle state of ``name`` (raises if unknown)."""
+        return self._require(name).state
+
+    def speed_of(self, name: str) -> float:
+        """Registered speed of ``name`` (raises if unknown)."""
+        return self._require(name).speed
+
+    def is_live(self, name: str) -> bool:
+        """True when ``name`` is known and ``UP``."""
+        record = self._members.get(name)
+        return record is not None and record.state is ServerState.UP
+
+    def live(self) -> list[str]:
+        """Sorted names of every ``UP`` server."""
+        return sorted(
+            n for n, r in self._members.items() if r.state is ServerState.UP
+        )
+
+    @property
+    def live_count(self) -> int:
+        return sum(
+            1 for r in self._members.values() if r.state is ServerState.UP
+        )
+
+    def known(self) -> list[str]:
+        """Sorted names of every server ever commissioned."""
+        return sorted(self._members)
+
+    def speeds(self) -> dict[str, float]:
+        """name -> speed for the live servers."""
+        return {
+            n: r.speed
+            for n, r in sorted(self._members.items())
+            if r.state is ServerState.UP
+        }
+
+    # ------------------------------------------------------------------
+    # Transitions
+    # ------------------------------------------------------------------
+    def commission(self, name: str, speed: float = 1.0) -> MemberRecord:
+        """A brand-new server joins ``UP``; the name must be unknown."""
+        if name in self._members:
+            raise LifecycleError(
+                f"commission of already-known server {name!r} "
+                f"(state {self._members[name].state.value}); "
+                f"use recover to bring a former member back"
+            )
+        if speed <= 0:
+            raise LifecycleError(
+                f"commissioned server {name!r} needs positive speed, "
+                f"got {speed!r}"
+            )
+        record = MemberRecord(name=name, state=ServerState.UP, speed=speed)
+        self._members[name] = record
+        return record
+
+    def fail(self, name: str) -> MemberRecord:
+        """Crash: ``UP -> DOWN``."""
+        return self._transition(name, ServerState.DOWN, ServerState.UP)
+
+    def decommission(self, name: str) -> MemberRecord:
+        """Graceful removal begins: ``UP -> DRAINING``."""
+        return self._transition(name, ServerState.DRAINING, ServerState.UP)
+
+    def drained(self, name: str) -> MemberRecord:
+        """The drain completed: ``DRAINING -> DOWN``."""
+        return self._transition(name, ServerState.DOWN, ServerState.DRAINING)
+
+    def recover(self, name: str) -> MemberRecord:
+        """Rejoin: ``DOWN | DRAINING -> UP`` (see module docs on
+        recover-after-decommission)."""
+        return self._transition(
+            name, ServerState.UP, ServerState.DOWN, ServerState.DRAINING
+        )
+
+    # ------------------------------------------------------------------
+    def check_invariants(self) -> None:
+        """Structural sanity of the roster itself."""
+        for name, record in self._members.items():
+            if record.name != name:
+                raise LifecycleError(
+                    f"roster entry {name!r} claims name {record.name!r}"
+                )
+            if record.speed <= 0:
+                raise LifecycleError(
+                    f"server {name!r} has non-positive speed {record.speed!r}"
+                )
+
+    # ------------------------------------------------------------------
+    def _require(self, name: str) -> MemberRecord:
+        try:
+            return self._members[name]
+        except KeyError:
+            raise LifecycleError(f"unknown server {name!r}") from None
+
+    def _transition(
+        self, name: str, target: ServerState, *legal_from: ServerState
+    ) -> MemberRecord:
+        record = self._require(name)
+        if record.state not in legal_from:
+            wanted = " or ".join(s.value for s in legal_from)
+            raise LifecycleError(
+                f"illegal transition for server {name!r}: "
+                f"{record.state.value} -> {target.value} requires {wanted}"
+            )
+        record.state = target
+        return record

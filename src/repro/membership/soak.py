@@ -1,0 +1,238 @@
+"""Chaos soak: randomized fault schedules through all three stacks.
+
+Run as a module::
+
+    PYTHONPATH=src python -m repro.membership.soak --seeds 3 --quick
+
+For each seed, a :class:`~repro.membership.injector.FaultInjector`
+generates a valid churn schedule, every harness stack replays it, and
+the stack's own invariants are checked *after each membership event*:
+
+- queueing stack — ``ClusterSimulation.check_invariants`` plus
+  ownership-targets-live-servers on every ``membership`` telemetry
+  record, and request conservation at the end of the run;
+- semantic stack — ``MetadataCluster.check_consistency`` and the ANU
+  region-map invariants after every director application, plus
+  durability of checkpointed files across the whole sequence;
+- protocol stack — roster/liveness agreement after every event, then
+  delegate agreement and share-map replication once traffic settles.
+
+The soak exits non-zero on the first violated invariant, printing the
+seed that triggered it — rerunning with that seed reproduces the exact
+schedule (the injector is deterministic per seed).
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Sequence
+
+from ..units import Seconds
+from .faults import FaultKind
+from .injector import ChaosProfile, FaultInjector
+
+__all__ = ["SOAK_CHURN", "soak_cluster", "soak_fs", "soak_proto", "run_soak", "main"]
+
+#: Full-churn profile used by every soak stack (kept gentle enough that
+#: quick mode finishes in CI time while still exercising each fault kind).
+SOAK_CHURN = ChaosProfile(
+    mttf=Seconds(400.0),
+    mttr=Seconds(80.0),
+    decommission_every=Seconds(650.0),
+    commission_every=Seconds(550.0),
+    delegate_crash_every=Seconds(800.0),
+    min_live=2,
+    max_commissions=3,
+)
+
+#: Like :data:`SOAK_CHURN` but delegate crashes removed and commissions
+#: restricted to recovering drained nodes: the protocol stack realizes
+#: ``DELEGATE_CRASH`` by downing the actual delegate, which a
+#: pre-validated schedule cannot anticipate (see tests/test_membership_chaos).
+PROTO_CHURN = ChaosProfile(
+    mttf=Seconds(60.0),
+    mttr=Seconds(15.0),
+    decommission_every=Seconds(90.0),
+    commission_every=Seconds(70.0),
+    delegate_crash_every=None,
+    min_live=3,
+    max_commissions=0,
+)
+
+
+def soak_cluster(seed: int, quick: bool = False) -> dict[str, float]:
+    """Chaos-run the queueing stack; returns summary counters."""
+    from ..cluster import ClusterConfig, ClusterSimulation, paper_servers
+    from ..placement import ANUPolicy
+    from ..runtime import CallbackSink
+    from ..workloads import SyntheticConfig, generate_synthetic
+
+    n_requests = 1000 if quick else 6000
+    trace = generate_synthetic(
+        SyntheticConfig(
+            n_filesets=30,
+            n_requests=n_requests,
+            duration=1200.0,
+            request_cost=0.3,
+            seed=3,
+        )
+    )
+    speeds = {s.name: s.speed for s in paper_servers()}
+    faults = FaultInjector(speeds, SOAK_CHURN, seed=seed).generate(
+        Seconds(trace.duration)
+    )
+    config = ClusterConfig(
+        servers=paper_servers(),
+        tuning_interval=120.0,
+        sample_window=60.0,
+        seed=1,
+    )
+    policy = ANUPolicy()
+    checks = 0
+
+    def _on_record(record) -> None:
+        nonlocal checks
+        if record.kind != "membership":
+            return
+        sim.check_invariants()
+        live = set(sim.roster.live())
+        for owner in sim.planned_assignment().values():
+            if owner not in live:
+                raise AssertionError(
+                    f"fileset owned by non-live server {owner!r} "
+                    f"after {record.fault} (seed {seed})"
+                )
+        checks += 1
+
+    sim = ClusterSimulation(
+        config, policy, trace, faults, telemetry=CallbackSink(_on_record)
+    )
+    result = sim.run()
+    if sum(result.completed.values()) != len(trace):
+        raise AssertionError(
+            f"lost/duplicated requests: completed "
+            f"{sum(result.completed.values())} of {len(trace)} (seed {seed})"
+        )
+    assert policy.placement is not None
+    policy.placement.check_invariants()
+    return {"events": len(faults), "checks": checks, "requests": len(trace)}
+
+
+def soak_fs(seed: int, quick: bool = False) -> dict[str, float]:
+    """Chaos-run the semantic stack; returns summary counters."""
+    from ..fs import FileSystemClient, MetadataCluster
+
+    roots = {f"fs{i}": f"/p{i}" for i in range(4 if quick else 8)}
+    servers = {f"server{i}": 1.0 for i in range(4)}
+    horizon = Seconds(600.0 if quick else 2400.0)
+    faults = FaultInjector(servers, SOAK_CHURN, seed=seed).generate(horizon)
+
+    cluster = MetadataCluster(sorted(servers), roots)
+    client = FileSystemClient(cluster, "soak-client")
+    durable = []
+    for i, root in enumerate(roots.values()):
+        client.mkdir(f"{root}/dir")
+        client.create(f"{root}/dir/file{i}")
+        durable.append(f"{root}/dir/file{i}")
+    cluster.checkpoint()
+
+    for event in faults:
+        cluster.director.apply(event, now=event.time)
+        cluster.check_consistency()
+        cluster.placement.check_invariants()
+    for path in durable:
+        client.stat(path)  # raises if the checkpointed file was lost
+    return {"events": len(faults), "checks": len(faults), "files": len(durable)}
+
+
+def soak_proto(seed: int, quick: bool = False) -> dict[str, float]:
+    """Chaos-run the protocol stack; returns summary counters."""
+    from ..proto import ControlPlane, ProtocolConfig
+
+    fast = ProtocolConfig(
+        heartbeat_interval=0.5,
+        heartbeat_timeout=1.6,
+        election_timeout=0.3,
+        report_timeout=0.3,
+        tuning_interval=5.0,
+    )
+    n = 5
+    names = {f"node{i:02d}": 1.0 for i in range(n)}
+    horizon = Seconds(60.0 if quick else 240.0)
+    faults = FaultInjector(names, PROTO_CHURN, seed=seed).generate(horizon)
+
+    cp = ControlPlane(n, seed=seed, protocol_config=fast)
+    cp.start()
+    for event in faults:
+        cp.run_until(float(event.time))
+        cp.apply_fault(event)
+        if set(cp.live_nodes) != set(cp.roster.live()):
+            raise AssertionError(
+                f"roster/liveness disagreement after {event} (seed {seed})"
+            )
+    end = float(faults.events[-1].time) if len(faults) else 0.0
+    cp.run_until(end + 15.0)
+    delegate = cp.current_delegate()
+    if delegate is None or delegate not in cp.live_nodes:
+        raise AssertionError(f"no live delegate after settling (seed {seed})")
+    if not cp.shares_agree():
+        raise AssertionError(f"share maps diverged after chaos (seed {seed})")
+    return {"events": len(faults), "checks": len(faults), "live": len(cp.live_nodes)}
+
+
+STACKS = {"cluster": soak_cluster, "fs": soak_fs, "proto": soak_proto}
+
+
+def run_soak(
+    seeds: Sequence[int], quick: bool = False, stacks: Sequence[str] | None = None
+) -> list[dict]:
+    """Soak every requested stack with every seed; returns summaries."""
+    results = []
+    for name in stacks or sorted(STACKS):
+        runner = STACKS[name]
+        for seed in seeds:
+            summary = runner(seed, quick=quick)
+            summary |= {"stack": name, "seed": seed}
+            print(
+                f"[soak] {name:<8} seed={seed:<4} "
+                f"events={summary['events']:<4} ok"
+            )
+            results.append(summary)
+    return results
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.membership.soak",
+        description="Randomized membership chaos soak over all three stacks.",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=3, help="number of seeds (default 3)"
+    )
+    parser.add_argument(
+        "--seed-base", type=int, default=0, help="first seed (default 0)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller traces/horizons for CI"
+    )
+    parser.add_argument(
+        "--stack",
+        choices=sorted(STACKS),
+        action="append",
+        help="restrict to one stack (repeatable; default: all)",
+    )
+    args = parser.parse_args(argv)
+    seeds = range(args.seed_base, args.seed_base + args.seeds)
+    results = run_soak(list(seeds), quick=args.quick, stacks=args.stack)
+    events = sum(r["events"] for r in results)
+    kinds = len(FaultKind)
+    print(
+        f"[soak] OK: {len(results)} runs, {events} membership events "
+        f"({kinds} fault kinds available), all invariants held"
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

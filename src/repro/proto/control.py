@@ -19,14 +19,26 @@ from __future__ import annotations
 from typing import Callable, Mapping
 
 from ..core.tuning import ServerReport, TuningConfig
+from ..membership.director import MembershipDirector
+from ..membership.faults import FaultEvent, FaultKind
+from ..membership.lifecycle import MembershipRoster
+from ..runtime.telemetry import NULL_SINK, TelemetrySink
 from ..sim.engine import Engine
 from ..sim.rng import StreamFactory
+from ..units import Seconds
 from .network import Network, NetworkConfig
 from .node import ProtocolConfig, ServerNode
 
 
 class ControlPlane:
-    """N protocol nodes + network + optional shared latency model."""
+    """N protocol nodes + network + optional shared latency model.
+
+    Implements :class:`repro.membership.director.MembershipHost`:
+    crashes, recoveries, and commission/decommission churn go through the
+    shared :class:`MembershipDirector`, so membership legality (no double
+    crash, a delegate crash needs a surviving node) is enforced by the
+    same state machine as every other harness.
+    """
 
     def __init__(
         self,
@@ -36,6 +48,7 @@ class ControlPlane:
         protocol_config: ProtocolConfig | None = None,
         tuning: TuningConfig | None = None,
         latency_model: Callable[[str, float], ServerReport] | None = None,
+        telemetry: TelemetrySink | None = None,
     ) -> None:
         """``latency_model(name, now)`` supplies each node's report; the
         default reports constant equal latency (nothing to tune)."""
@@ -49,23 +62,38 @@ class ControlPlane:
         self._latency_model = latency_model or (
             lambda name, now: ServerReport(name, 0.01, 100)
         )
+        self._protocol_config = protocol_config
+        self._tuning = tuning
+        self.telemetry = telemetry if telemetry is not None else NULL_SINK
         names = [f"node{i:02d}" for i in range(n_nodes)]
         initial = {name: 1.0 for name in names}
         self.nodes: dict[str, ServerNode] = {}
         self.config_log: list[tuple[float, str, int]] = []
         for i, name in enumerate(names):
-            node = ServerNode(
-                name=name,
-                priority=i,
-                engine=self.engine,
-                network=self.network,
-                report_source=self._make_source(name),
-                on_config=self._make_sink(name),
-                config=protocol_config,
-                tuning=tuning,
-                initial_shares=dict(initial),
-            )
-            self.nodes[name] = node
+            self.nodes[name] = self._make_node(name, i, dict(initial))
+        self.roster = MembershipRoster(names)
+        self.director = MembershipDirector(
+            self.roster,
+            host=self,
+            telemetry=self.telemetry,
+            clock=lambda: Seconds(self.engine.now),
+        )
+
+    def _make_node(
+        self, name: str, priority: int, shares: dict[str, float]
+    ) -> ServerNode:
+        return ServerNode(
+            name=name,
+            priority=priority,
+            engine=self.engine,
+            network=self.network,
+            report_source=self._make_source(name),
+            on_config=self._make_sink(name),
+            config=self._protocol_config,
+            tuning=self._tuning,
+            initial_shares=shares,
+            telemetry=self.telemetry,
+        )
 
     def _make_source(self, name: str):
         return lambda: self._latency_model(name, self.engine.now)
@@ -88,12 +116,83 @@ class ControlPlane:
 
     # ------------------------------------------------------------------
     def crash(self, name: str) -> None:
-        """Crash the named node."""
-        self.nodes[name].crash()
+        """Crash the named node (roster-checked: it must be up)."""
+        self.apply_fault(FaultEvent(Seconds(self.engine.now), FaultKind.FAIL, name))
 
     def recover(self, name: str) -> None:
-        """Recover the named node."""
-        self.nodes[name].recover()
+        """Recover the named node (roster-checked: it must be down)."""
+        self.apply_fault(
+            FaultEvent(Seconds(self.engine.now), FaultKind.RECOVER, name)
+        )
+
+    def commission(self, name: str, speed: float = 1.0) -> None:
+        """A brand-new node joins the control plane and races election."""
+        self.apply_fault(
+            FaultEvent(Seconds(self.engine.now), FaultKind.COMMISSION, name, speed)
+        )
+
+    def decommission(self, name: str) -> None:
+        """Gracefully retire a node (timers stop; no crash semantics)."""
+        self.apply_fault(
+            FaultEvent(Seconds(self.engine.now), FaultKind.DECOMMISSION, name)
+        )
+
+    def apply_fault(self, event: FaultEvent) -> None:
+        """Apply one membership event through the shared director."""
+        self.director.apply(event, now=Seconds(self.engine.now))
+
+    # ------------------------------------------------------------------
+    # MembershipHost protocol (driven by self.director)
+    # ------------------------------------------------------------------
+    def crash_server(self, server: str, now: Seconds) -> None:
+        """The network drops the node's messages until it recovers."""
+        self.nodes[server].crash()
+        return None
+
+    def drain_server(self, server: str, now: Seconds) -> None:
+        """Quiet stop: timer loops observe ``alive == False`` and end."""
+        self.nodes[server].shutdown()
+
+    def restart_server(self, server: str, now: Seconds) -> None:
+        """Reset volatile protocol state and rejoin the election race."""
+        self.nodes[server].recover()
+
+    def install_server(self, server: str, speed: float, now: Seconds) -> None:
+        """Create and start a fresh node (priority above all existing)."""
+        priority = max(n.priority for n in self.nodes.values()) + 1
+        shares = {name: 1.0 for name in sorted(self.nodes)} | {server: 1.0}
+        node = self._make_node(server, priority, shares)
+        self.nodes[server] = node
+        node.start()
+
+    def delegate_failover(self, now: Seconds) -> str | None:
+        """Kill the agreed delegate node; the bully election heals it.
+
+        Returns the victim's name so the director records the crash in
+        the roster (``None`` when no delegate is currently agreed).  The
+        majority view can lag a recent crash — nodes keep voting for a
+        dead delegate until heartbeats time out — so an already-down
+        victim also counts as "no delegate to kill"."""
+        victim = self.current_delegate()
+        if victim is None or not self.roster.is_live(victim):
+            return None
+        self.nodes[victim].crash()
+        return victim
+
+    def membership_assignment(self) -> None:
+        """The control plane manages no file-set placement."""
+        return None
+
+    def reset_round_history(self) -> None:
+        """Per-node round history dies with its node; nothing shared."""
+
+    def realize_membership(
+        self, old: dict[str, str], new: dict[str, str], now: Seconds
+    ) -> None:
+        """Never called: :meth:`membership_assignment` returns ``None``."""
+
+    def reinject(self, orphans: object, now: Seconds) -> None:
+        """Nothing queues outside the nodes; nothing to re-dispatch."""
 
     # ------------------------------------------------------------------
     @property

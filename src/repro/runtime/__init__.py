@@ -17,6 +17,7 @@ from .telemetry import (
     DelegateElected,
     FaultInjected,
     JsonlSink,
+    MembershipChanged,
     MemorySink,
     MoveFinished,
     MoveStarted,
@@ -46,6 +47,7 @@ __all__ = [
     "DelegateElected",
     "FaultInjected",
     "JsonlSink",
+    "MembershipChanged",
     "MemorySink",
     "MoveFinished",
     "MoveStarted",

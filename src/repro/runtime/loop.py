@@ -10,9 +10,9 @@ This module owns that loop once:
   host to build a :class:`~repro.placement.base.TuningContext`, invokes
   the host's decision function (``PlacementPolicy.update`` or a delegate
   tuner), tracks the previous interval's reports for the divergent
-  heuristic, realizes assignment diffs through the host's movement layer,
-  and handles membership changes (faults, commission) by resetting report
-  history and re-placing through ``PlacementPolicy.on_membership_change``;
+  heuristic, and realizes assignment diffs through the host's movement
+  layer (membership changes are driven separately by
+  :class:`repro.membership.director.MembershipDirector`);
 - :class:`DelegateRoundDriver` is the smaller kernel shared with the
   message-driven protocol (:mod:`repro.proto.node`), where round cadence
   is governed by heartbeats and elections rather than a timer: stateless
@@ -59,9 +59,6 @@ class TuningHost(Protocol):
 
     def realize(self, old: dict[str, str], new: dict[str, str]) -> None:
         """Turn an assignment diff into movement on the harness's engine."""
-
-    def membership_assignment(self) -> tuple[dict[str, str], dict[str, str]]:
-        """(old, new) assignments after a membership change (fault path)."""
 
 
 class TuningLoop:
@@ -131,18 +128,9 @@ class TuningLoop:
 
     # ------------------------------------------------------------------
     def reset_history(self) -> None:
-        """Forget the previous interval's reports (delegate fail-over)."""
+        """Forget the previous interval's reports (delegate fail-over or
+        membership change — latency history straddles either)."""
         self.previous_reports = None
-
-    def membership_changed(self) -> None:
-        """Re-place after a server-set change and drop report history.
-
-        Latency history straddles the membership change, so the next
-        round starts fresh — the paper's stateless recovery.
-        """
-        old, new = self.host.membership_assignment()
-        self.previous_reports = None
-        self.host.realize(old, new)
 
 
 class DelegateRoundDriver:

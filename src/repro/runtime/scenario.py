@@ -29,12 +29,13 @@ from .telemetry import TelemetrySink
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..cluster.cluster import RunResult
-    from ..cluster.faults import FaultSchedule
     from ..cluster.protocol_driver import ProtocolRunResult
     from ..cluster.server import ServerSpec
     from ..core.tuning import TuningConfig
     from ..fs.ops import Operation
     from ..fs.simulation import FullSystemResult
+    from ..membership.faults import FaultSchedule
+    from ..membership.injector import FaultInjector
     from ..placement.base import PlacementPolicy
     from ..proto.node import ProtocolConfig
     from ..workloads.trace import Trace
@@ -66,6 +67,10 @@ class Scenario:
     #: Fresh-policy factory (policies are stateful); defaults to ANU.
     policy: Callable[[], "PlacementPolicy"] = field(default=_default_policy)
     faults: "FaultSchedule | None" = None
+    #: Stochastic chaos source: when set (and ``faults`` is not), each
+    #: queueing/protocol run generates its schedule from the injector over
+    #: the trace duration — seeded, so every run sees the same events.
+    injector: "FaultInjector | None" = None
     tuning_interval: float = 120.0
     sample_window: float = 60.0
     seed: int = 0
@@ -78,6 +83,20 @@ class Scenario:
             raise ValueError("a scenario needs at least one server")
         if self.trace is None and self.operations is None:
             raise ValueError("a scenario needs a trace or an operation stream")
+        if self.faults is not None and self.injector is not None:
+            raise ValueError(
+                "give either an explicit fault schedule or an injector, not both"
+            )
+
+    def fault_schedule(self) -> "FaultSchedule | None":
+        """The run's fault schedule: explicit, injector-generated, or None."""
+        if self.faults is not None:
+            return self.faults
+        if self.injector is not None:
+            from ..units import Seconds
+
+            return self.injector.generate(Seconds(self.cluster_trace().duration))
+        return None
 
     # ------------------------------------------------------------------
     @property
@@ -116,7 +135,7 @@ class Scenario:
             config,
             self.policy(),
             self.cluster_trace(),
-            faults=self.faults,
+            faults=self.fault_schedule(),
             telemetry=telemetry,
         ).run()
 
@@ -131,6 +150,8 @@ class Scenario:
                 "the full-system run needs operations and fileset_roots"
             )
         if self.faults is not None and len(list(self.faults)) > 0:
+            raise ValueError("the full-system harness has a static server set")
+        if self.injector is not None:
             raise ValueError("the full-system harness has a static server set")
         config = FullSystemConfig(
             server_speeds=self.speeds,
@@ -168,4 +189,5 @@ class Scenario:
             protocol=protocol,
             delegate_crash_times=delegate_crash_times,
             telemetry=telemetry,
+            faults=self.fault_schedule(),
         ).run()

@@ -37,6 +37,7 @@ __all__ = [
     "MoveStarted",
     "MoveFinished",
     "FaultInjected",
+    "MembershipChanged",
     "DelegateElected",
     "TelemetrySink",
     "NullSink",
@@ -143,6 +144,27 @@ class FaultInjected(TelemetryRecord):
 
 
 @dataclass(frozen=True, slots=True)
+class MembershipChanged(TelemetryRecord):
+    """The membership director finished applying one lifecycle event.
+
+    Emitted after the re-placement that follows a fault/commission, with
+    the move classification from :mod:`repro.core.movement`: ``orphaned``
+    counts recovery moves (file sets whose source is gone), ``rebalanced``
+    counts live-to-live moves, ``stayed`` counts boundary-preserved file
+    sets — the paper's cache-preservation claim, observable per event.
+    """
+
+    kind: ClassVar[str] = "membership"
+
+    fault: str   # FaultKind.value that triggered the change
+    server: str
+    live: int    # live servers after the event
+    orphaned: int = 0
+    rebalanced: int = 0
+    stayed: int = 0
+
+
+@dataclass(frozen=True, slots=True)
 class DelegateElected(TelemetryRecord):
     """A node won a delegate election (proto control plane)."""
 
@@ -162,6 +184,7 @@ _RECORD_TYPES: dict[str, type[TelemetryRecord]] = {
         MoveStarted,
         MoveFinished,
         FaultInjected,
+        MembershipChanged,
         DelegateElected,
     )
 }

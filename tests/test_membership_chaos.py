@@ -1,0 +1,243 @@
+"""Chaos property tests: stochastic fault schedules through all three stacks.
+
+The :class:`~repro.membership.injector.FaultInjector` generates valid
+randomized membership schedules (crash/repair from per-server exponential
+processes, commission/decommission churn, delegate crashes); these tests
+drive every harness stack with them and assert the paper's recovery
+invariants after *every* event, not just at the end:
+
+- ownership uniqueness — each file set has exactly one owner, and it is a
+  registered (cluster) / live (fs) server;
+- no lost or duplicated requests — everything the trace injected
+  completes exactly once, even when crashes orphan queued work;
+- placement soundness at quiescence — half occupancy and the paper's
+  ``p >= 2*(n+1)`` partition rule hold for the surviving server set;
+- determinism — the same injector seed yields the identical schedule on
+  every run, so any chaos failure is replayable.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster import ClusterConfig, ClusterSimulation, paper_servers
+from repro.fs import FileSystemClient, MetadataCluster
+from repro.membership import (
+    ChaosProfile,
+    FaultEvent,
+    FaultInjector,
+    FaultKind,
+    MembershipRoster,
+    apply_event,
+)
+from repro.placement import ANUPolicy
+from repro.proto import ControlPlane, ProtocolConfig
+from repro.runtime import CallbackSink, MemorySink
+from repro.units import Seconds
+from repro.workloads import SyntheticConfig, generate_synthetic
+
+SPEEDS = {f"server{i}": float(s) for i, s in enumerate([1, 3, 5, 7, 9])}
+
+#: Every fault process active; rates sized to yield a handful of events
+#: over a 1200 s trace.
+CHURN = ChaosProfile(
+    mttf=Seconds(500.0),
+    mttr=Seconds(90.0),
+    decommission_every=Seconds(700.0),
+    commission_every=Seconds(600.0),
+    delegate_crash_every=Seconds(900.0),
+    min_live=2,
+    max_commissions=3,
+)
+
+
+def _trace(seed=3):
+    return generate_synthetic(
+        SyntheticConfig(n_filesets=30, n_requests=1500, duration=1200.0,
+                        request_cost=0.3, seed=seed)
+    )
+
+
+# ----------------------------------------------------------------------
+# Injector properties
+# ----------------------------------------------------------------------
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_injector_is_deterministic_and_valid(seed):
+    a = FaultInjector(SPEEDS, CHURN, seed=seed).generate(Seconds(1200.0))
+    b = FaultInjector(SPEEDS, CHURN, seed=seed).generate(Seconds(1200.0))
+    assert list(a) == list(b)
+    a.validate(set(SPEEDS))
+    # min_live is honoured throughout the replay.
+    roster = MembershipRoster(SPEEDS)
+    for event in a:
+        apply_event(roster, event)
+        assert roster.live_count >= CHURN.min_live
+
+
+@settings(max_examples=10, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    other=st.integers(min_value=0, max_value=10_000),
+)
+def test_injector_seed_sensitivity(seed, other):
+    if seed == other:
+        return
+    a = FaultInjector(SPEEDS, CHURN, seed=seed).generate(Seconds(3600.0))
+    b = FaultInjector(SPEEDS, CHURN, seed=other).generate(Seconds(3600.0))
+    assert list(a) != list(b)
+
+
+# ----------------------------------------------------------------------
+# Queueing stack
+# ----------------------------------------------------------------------
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_chaos_cluster_stack(seed):
+    trace = _trace()
+    faults = FaultInjector(SPEEDS, CHURN, seed=seed).generate(
+        Seconds(trace.duration)
+    )
+    config = ClusterConfig(servers=paper_servers(), tuning_interval=120.0,
+                           sample_window=60.0, seed=1)
+    policy = ANUPolicy()
+
+    checked = []
+
+    def _on_record(record):
+        if record.kind != "membership":
+            return
+        # The director just finished re-placing: ownership must be
+        # unique and structurally sound, and new work must only target
+        # live servers.
+        sim.check_invariants()
+        live = set(sim.roster.live())
+        assert record.live == len(live)
+        for fileset, owner in sim.planned_assignment().items():
+            assert owner in sim.servers
+            assert owner in live
+        checked.append(record)
+
+    sim = ClusterSimulation(
+        config, policy, trace, faults, telemetry=CallbackSink(_on_record)
+    )
+    result = sim.run()
+
+    # Every membership-changing event was checked mid-run.
+    structural = [e for e in faults if e.kind is not FaultKind.DELEGATE_CRASH]
+    assert len(checked) == len(faults)
+    assert len(structural) <= len(checked)
+
+    # No lost or duplicated requests, ever.
+    assert result.total_requests == len(trace)
+    assert sum(result.completed.values()) == len(trace)
+
+    # Quiescence: the surviving placement satisfies the paper's rules.
+    placement = policy.placement
+    assert placement is not None
+    placement.check_invariants()  # half occupancy + structural soundness
+    assert set(placement.servers) == set(sim.roster.live())
+    assert placement.interval.partitions >= 2 * (len(placement.servers) + 1)
+
+
+# ----------------------------------------------------------------------
+# Semantic (fs) stack
+# ----------------------------------------------------------------------
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_chaos_fs_stack(seed):
+    roots = {f"fs{i}": f"/p{i}" for i in range(6)}
+    servers = {f"server{i}": 1.0 for i in range(4)}
+    faults = FaultInjector(servers, CHURN, seed=seed).generate(Seconds(1200.0))
+
+    cluster = MetadataCluster(sorted(servers), roots)
+    client = FileSystemClient(cluster, "chaos-client")
+    durable = []
+    for i, root in enumerate(roots.values()):
+        client.mkdir(f"{root}/dir")
+        client.create(f"{root}/dir/file{i}")
+        durable.append(f"{root}/dir/file{i}")
+    cluster.checkpoint()  # flushed: must survive any crash sequence
+
+    for event in faults:
+        cluster.director.apply(event, now=event.time)
+        # Ownership, services, placement, and roster agree after every
+        # single membership change ...
+        cluster.check_consistency()
+        # ... and the ANU region map keeps the paper's invariants.
+        cluster.placement.check_invariants()
+        n = len(cluster.services)
+        assert cluster.placement.interval.partitions >= 2 * (n + 1)
+
+    # Flushed data survived the entire chaos sequence.
+    for path in durable:
+        assert client.stat(path) is not None
+
+
+# ----------------------------------------------------------------------
+# Protocol stack
+# ----------------------------------------------------------------------
+FAST = ProtocolConfig(
+    heartbeat_interval=0.5,
+    heartbeat_timeout=1.6,
+    election_timeout=0.3,
+    report_timeout=0.3,
+    tuning_interval=5.0,
+)
+
+#: Commission churn limited to recovering drained nodes (fresh protocol
+#: nodes would get digit-derived peer priorities that clash with their
+#: assigned ones), and no stochastic delegate crashes: the protocol stack
+#: realizes DELEGATE_CRASH by downing the *actual* delegate node, which
+#: the injector's roster model cannot predict — later events in a
+#: pre-validated schedule could then target an already-dead server.  The
+#: delegate path is instead exercised explicitly at the end of the test.
+NODE_CHURN = ChaosProfile(
+    mttf=Seconds(60.0),
+    mttr=Seconds(15.0),
+    decommission_every=Seconds(90.0),
+    commission_every=Seconds(70.0),
+    delegate_crash_every=None,
+    min_live=3,
+    max_commissions=0,
+)
+
+
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_chaos_proto_stack(seed):
+    n = 5
+    names = {f"node{i:02d}": 1.0 for i in range(n)}
+    faults = FaultInjector(names, NODE_CHURN, seed=seed).generate(
+        Seconds(120.0)
+    )
+    sink = MemorySink()
+    cp = ControlPlane(n, seed=seed, protocol_config=FAST, telemetry=sink)
+    cp.start()
+    for event in faults:
+        cp.run_until(float(event.time))
+        cp.apply_fault(event)
+        assert len(cp.live_nodes) >= 1
+        assert set(cp.live_nodes) == set(cp.roster.live())
+    end = float(faults.events[-1].time) if len(faults) else 0.0
+    cp.run_until(end + 15.0)
+
+    # The control plane healed: live nodes agree on one delegate and on
+    # the replicated share map.
+    assert len(cp.live_nodes) >= NODE_CHURN.min_live
+    victim = cp.current_delegate()
+    assert victim is not None and victim in cp.live_nodes
+    assert cp.shares_agree()
+
+    # Finally kill the agreed delegate; the bully election elects a
+    # replacement and the roster records the physical crash.
+    cp.apply_fault(
+        FaultEvent(Seconds(cp.engine.now), FaultKind.DELEGATE_CRASH, "*")
+    )
+    assert not cp.roster.is_live(victim)
+    cp.run_until(cp.engine.now + 15.0)
+    successor = cp.current_delegate()
+    assert successor is not None and successor != victim
+    assert successor in cp.live_nodes
+    assert cp.shares_agree()
+    # Telemetry saw one fault record per applied event.
+    assert len(sink.of_kind("fault")) == len(faults) + 1

@@ -1,0 +1,321 @@
+"""Unit tests for the membership subsystem: roster, schedule, director."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.membership import (
+    FaultEvent,
+    FaultKind,
+    FaultSchedule,
+    LifecycleError,
+    MembershipDirector,
+    MembershipRoster,
+    ServerState,
+)
+from repro.units import Seconds
+
+
+# ----------------------------------------------------------------------
+# MembershipRoster: the state machine itself
+# ----------------------------------------------------------------------
+def test_roster_initial_states_and_views():
+    roster = MembershipRoster({"a": 1.0, "b": 3.0})
+    assert roster.live() == ["a", "b"]
+    assert roster.live_count == 2
+    assert roster.speeds() == {"a": 1.0, "b": 3.0}
+    assert roster.state_of("b") is ServerState.UP
+    assert "a" in roster and "ghost" not in roster
+    assert list(roster) == ["a", "b"]
+
+
+def test_roster_full_lifecycle_cycle():
+    roster = MembershipRoster(["a", "b"])
+    roster.fail("a")
+    assert roster.state_of("a") is ServerState.DOWN
+    assert roster.live() == ["b"]
+    roster.recover("a")
+    assert roster.state_of("a") is ServerState.UP
+    roster.decommission("a")
+    assert roster.state_of("a") is ServerState.DRAINING
+    assert not roster.is_live("a")
+    roster.drained("a")
+    assert roster.state_of("a") is ServerState.DOWN
+    # Recover after a completed decommission is legal (documented).
+    roster.recover("a")
+    assert roster.is_live("a")
+
+
+def test_roster_recover_straight_from_draining():
+    roster = MembershipRoster(["a", "b"])
+    roster.decommission("a")
+    roster.recover("a")
+    assert roster.is_live("a")
+
+
+@pytest.mark.parametrize(
+    "setup, action",
+    [
+        (lambda r: None, lambda r: r.fail("ghost")),          # unknown
+        (lambda r: r.fail("a"), lambda r: r.fail("a")),       # double fail
+        (lambda r: None, lambda r: r.recover("a")),           # recover up
+        (lambda r: None, lambda r: r.commission("a")),        # known name
+        (lambda r: r.fail("a"), lambda r: r.decommission("a")),  # decom down
+        (lambda r: r.fail("a"), lambda r: r.drained("a")),    # drain w/o decom
+    ],
+)
+def test_roster_illegal_transitions_raise(setup, action):
+    roster = MembershipRoster(["a", "b"])
+    setup(roster)
+    with pytest.raises(LifecycleError):
+        action(roster)
+
+
+def test_roster_never_forgets_members():
+    roster = MembershipRoster(["a", "b"])
+    roster.fail("a")
+    assert "a" in roster
+    assert roster.known() == ["a", "b"]
+    with pytest.raises(LifecycleError):
+        roster.commission("a")  # must use recover for a former member
+
+
+# ----------------------------------------------------------------------
+# FaultSchedule: ordered insertion + lifecycle validation
+# ----------------------------------------------------------------------
+def _legal_event_sequence(draw):
+    """Strategy: a list of events legal to replay from servers a/b/c."""
+    roster = MembershipRoster(["a", "b", "c"])
+    events = []
+    time = 0.0
+    n = draw(st.integers(min_value=0, max_value=30))
+    fresh = 0
+    for _ in range(n):
+        # Strictly increasing times: the schedule sorts ties by (time,
+        # server), which would permute same-time events out of the legal
+        # order this generator constructed them in.
+        time += draw(st.floats(min_value=0.001, max_value=10.0))
+        choices = []
+        live = roster.live()
+        if roster.live_count > 1:
+            choices.append("fail")
+            choices.append("decommission")
+        downed = [
+            s for s in roster.known()
+            if roster.state_of(s) is not ServerState.UP
+        ]
+        if downed:
+            choices.append("recover")
+        if fresh < 4:
+            choices.append("commission")
+        if roster.live_count >= 2:
+            choices.append("delegate-crash")
+        if not choices:
+            break
+        what = draw(st.sampled_from(sorted(choices)))
+        if what == "fail":
+            victim = draw(st.sampled_from(live))
+            roster.fail(victim)
+            events.append(FaultEvent(Seconds(time), FaultKind.FAIL, victim))
+        elif what == "decommission":
+            victim = draw(st.sampled_from(live))
+            roster.decommission(victim)
+            events.append(
+                FaultEvent(Seconds(time), FaultKind.DECOMMISSION, victim)
+            )
+        elif what == "recover":
+            victim = draw(st.sampled_from(downed))
+            roster.recover(victim)
+            events.append(FaultEvent(Seconds(time), FaultKind.RECOVER, victim))
+        elif what == "commission":
+            name = f"new{fresh}"
+            fresh += 1
+            roster.commission(name, 2.0)
+            events.append(
+                FaultEvent(Seconds(time), FaultKind.COMMISSION, name, 2.0)
+            )
+        else:
+            events.append(
+                FaultEvent(Seconds(time), FaultKind.DELEGATE_CRASH, "*")
+            )
+    return events
+
+
+legal_events = st.composite(_legal_event_sequence)()
+
+
+@settings(max_examples=60, deadline=None)
+@given(events=legal_events, order=st.randoms(use_true_random=False))
+def test_schedule_add_matches_append_then_sort(events, order):
+    """bisect-insort insertion equals the old append+stable-sort, for any
+    insertion order of the same event set."""
+    shuffled = list(events)
+    order.shuffle(shuffled)
+    fast = FaultSchedule()
+    for ev in shuffled:
+        fast.add(ev)
+    slow = list(shuffled)
+    slow.sort(key=lambda e: (e.time, e.server))  # the old implementation
+    assert fast.events == slow
+
+
+@settings(max_examples=60, deadline=None)
+@given(events=legal_events)
+def test_legal_sequences_validate(events):
+    schedule = FaultSchedule()
+    for ev in events:
+        schedule.add(ev)
+    schedule.validate({"a", "b", "c"})
+
+
+def test_validate_rejects_double_fail():
+    sched = FaultSchedule().fail(1.0, "a").fail(2.0, "a")
+    with pytest.raises(ValueError):
+        sched.validate({"a", "b"})
+
+
+def test_validate_rejects_losing_last_server():
+    sched = FaultSchedule().fail(1.0, "a").fail(2.0, "b")
+    with pytest.raises(ValueError):
+        sched.validate({"a", "b"})
+
+
+def test_validate_rejects_delegate_crash_without_successor():
+    """A delegate crash needs >= 2 live servers to elect a successor;
+    the old validator silently skipped DELEGATE_CRASH events."""
+    sched = FaultSchedule().fail(1.0, "a").delegate_crash(2.0)
+    with pytest.raises(ValueError):
+        sched.validate({"a", "b"})
+    # With a third server the same schedule is fine.
+    sched.validate({"a", "b", "c"})
+
+
+def test_validate_allows_recover_after_decommission():
+    FaultSchedule().decommission(1.0, "a").recover(5.0, "a").validate(
+        {"a", "b"}
+    )
+
+
+# ----------------------------------------------------------------------
+# MembershipDirector against a recording host
+# ----------------------------------------------------------------------
+class RecordingHost:
+    """Minimal host that logs primitive calls and manages a toy placement."""
+
+    def __init__(self, roster: MembershipRoster, filesets: list[str]) -> None:
+        self.roster = roster
+        self.filesets = filesets
+        self.calls: list[tuple] = []
+        self.assignment = {
+            fs: roster.live()[i % len(roster.live())]
+            for i, fs in enumerate(filesets)
+        }
+
+    def crash_server(self, server, now):
+        self.calls.append(("crash", server))
+        return [f"orphan-from-{server}"]
+
+    def drain_server(self, server, now):
+        self.calls.append(("drain", server))
+
+    def restart_server(self, server, now):
+        self.calls.append(("restart", server))
+
+    def install_server(self, server, speed, now):
+        self.calls.append(("install", server, speed))
+
+    def delegate_failover(self, now):
+        self.calls.append(("failover",))
+        return None
+
+    def membership_assignment(self):
+        old = dict(self.assignment)
+        live = self.roster.live()
+        new = {fs: live[i % len(live)] for i, fs in enumerate(self.filesets)}
+        return old, new
+
+    def reset_round_history(self):
+        self.calls.append(("reset",))
+
+    def realize_membership(self, old, new, now):
+        self.calls.append(("realize",))
+        self.assignment = dict(new)
+
+    def reinject(self, orphans, now):
+        self.calls.append(("reinject", tuple(orphans)))
+
+
+def _director():
+    roster = MembershipRoster({"a": 1.0, "b": 2.0, "c": 3.0})
+    host = RecordingHost(roster, ["f0", "f1", "f2", "f3"])
+    return roster, host, MembershipDirector(roster, host)
+
+
+def test_director_fail_orders_crash_rebalance_reinject():
+    roster, host, director = _director()
+    change = director.apply(FaultEvent(Seconds(1.0), FaultKind.FAIL, "a"))
+    kinds = [c[0] for c in host.calls]
+    assert kinds == ["crash", "reset", "realize", "reinject"]
+    assert roster.state_of("a") is ServerState.DOWN
+    assert change.live == ("b", "c")
+    assert change.diff is not None and change.moved >= 1
+    # Every move off the dead server is classified as an orphan re-home.
+    assert change.orphaned >= 1 and change.rebalanced >= 0
+    assert change.orphaned + change.rebalanced == change.moved
+    assert director.applied == [FaultEvent(Seconds(1.0), FaultKind.FAIL, "a")]
+
+
+def test_director_delegate_crash_needs_survivor():
+    roster, host, director = _director()
+    director.apply(FaultEvent(Seconds(1.0), FaultKind.FAIL, "a"))
+    director.apply(FaultEvent(Seconds(2.0), FaultKind.FAIL, "b"))
+    with pytest.raises(LifecycleError):
+        director.apply(FaultEvent(Seconds(3.0), FaultKind.DELEGATE_CRASH, "*"))
+
+
+def test_director_delegate_crash_is_logical_only():
+    roster, host, director = _director()
+    change = director.apply(
+        FaultEvent(Seconds(1.0), FaultKind.DELEGATE_CRASH, "*")
+    )
+    assert [c[0] for c in host.calls] == ["failover"]
+    assert change.diff is None and change.moved == 0
+
+
+def test_director_commission_and_decommission_rebalance():
+    roster, host, director = _director()
+    change = director.apply(
+        FaultEvent(Seconds(1.0), FaultKind.COMMISSION, "d", speed=4.0)
+    )
+    assert ("install", "d", 4.0) in host.calls
+    assert roster.speed_of("d") == 4.0
+    assert change.live == ("a", "b", "c", "d")
+    host.calls.clear()
+    director.apply(FaultEvent(Seconds(2.0), FaultKind.DECOMMISSION, "d"))
+    assert [c[0] for c in host.calls] == ["drain", "reset", "realize"]
+    assert roster.state_of("d") is ServerState.DRAINING
+
+
+def test_director_illegal_event_mutates_nothing():
+    roster, host, director = _director()
+    with pytest.raises(LifecycleError):
+        director.apply(FaultEvent(Seconds(1.0), FaultKind.RECOVER, "a"))
+    assert host.calls == []
+    assert director.applied == []
+
+
+def test_director_emits_telemetry_records():
+    from repro.runtime import MemorySink
+
+    roster = MembershipRoster({"a": 1.0, "b": 2.0})
+    host = RecordingHost(roster, ["f0", "f1"])
+    sink = MemorySink()
+    director = MembershipDirector(roster, host, telemetry=sink)
+    director.apply(FaultEvent(Seconds(5.0), FaultKind.FAIL, "a"))
+    counts = sink.counts()
+    assert counts["fault"] == 1
+    assert counts["membership"] == 1
+    (record,) = sink.of_kind("membership")
+    assert record.fault == "fail"
+    assert record.live == 1
+    assert record.orphaned + record.rebalanced >= 1
