@@ -33,6 +33,7 @@ DEFAULT_SUITES = (
     "fs_substrate",
     "runtime",
     "membership",
+    "dsan",
 )
 
 #: Fixture names the runner can inject, beyond parametrized arguments.

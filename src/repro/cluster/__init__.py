@@ -7,8 +7,8 @@
   speeds 1, 3, 5, 7, 9);
 - :class:`~repro.cluster.mover.MoveCostModel` — 5–10 s flush/init delay and
   cold-cache penalties;
-- :class:`~repro.cluster.faults.FaultSchedule` — failure/recovery and
-  (de)commission events.
+- :class:`~repro.membership.faults.FaultSchedule` — failure/recovery and
+  (de)commission events (re-exported here for compatibility).
 """
 
 from .cluster import ClusterConfig, ClusterSimulation, RunResult, paper_servers
@@ -17,7 +17,7 @@ from .protocol_driver import (
     ProtocolDrivenCluster,
     ProtocolRunResult,
 )
-from .faults import FaultEvent, FaultKind, FaultSchedule
+from ..membership.faults import FaultEvent, FaultKind, FaultSchedule
 from .fileset import FileSetState
 from .mover import FREE_MOVES, FileSetMover, MoveCostModel
 from .request import MetadataRequest

@@ -372,14 +372,17 @@ class MappedInterval:
         """
         if name in self._shares:
             raise IntervalError(f"server {name!r} already present")
-        self._mutated()
         n_new = self.n_servers + 1
-        while self._p < 2 * (n_new + 1):
-            self.repartition()
         if share_fraction is None:
             share_fraction = 1.0 / n_new
         if not 0.0 < share_fraction < 1.0:
             raise IntervalError(f"share_fraction {share_fraction!r} outside (0, 1)")
+        # All argument checks passed: only now may the interval change.
+        # Repartitioning before validating would leave p doubled (state
+        # torn) when a bad share_fraction raises (RPL106).
+        self._mutated()
+        while self._p < 2 * (n_new + 1):
+            self.repartition()
         old = {s: self._shares[s] for s in self._shares}
         self._full[name] = set()
         self._partial[name] = None

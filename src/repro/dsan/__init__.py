@@ -1,0 +1,26 @@
+"""Determinism sanitizer (``repro-dsan``): replay, diff, bisect.
+
+The static rules (RPL104–106) prove properties about the code; this
+package checks the property that actually matters at run time — that a
+seeded scenario replays *bit-identically* under perturbations a correct
+harness must not observe (``PYTHONHASHSEED``, GC cadence).  Each run
+folds its telemetry stream into a rolling hash chain
+(:class:`~repro.runtime.telemetry.DigestSink`); two chains are bisected to the
+first divergent event, which is reported as a record, not a stack trace.
+
+- :func:`compare` — run a scenario twice (fresh subprocesses) and diff;
+- :func:`run_scenario` — one in-process run into a digest sink;
+- :data:`SCENARIOS` — runnable scenarios, including the deliberately
+  nondeterministic ``planted`` fixture that self-tests the bisector;
+- :func:`diagnose` — a divergence as lint diagnostics (text/SARIF).
+"""
+
+from .runner import SCENARIOS, Divergence, compare, diagnose, run_scenario
+
+__all__ = [
+    "SCENARIOS",
+    "Divergence",
+    "compare",
+    "diagnose",
+    "run_scenario",
+]

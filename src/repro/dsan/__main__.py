@@ -1,0 +1,6 @@
+"""``python -m repro.dsan`` — alias for the ``repro-dsan`` console script."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,143 @@
+"""``repro-dsan``: run a scenario twice, diff the telemetry digest chains.
+
+Usage::
+
+    repro-dsan cluster --seed 3 --quick --hashseed-perturb
+    repro-dsan planted --hashseed-perturb --format sarif --output dsan.sarif
+    repro-dsan --list
+
+Exit codes mirror ``repro-lint``: 0 when every comparison replayed
+bit-identically, 1 when a divergence was found (the report names the
+first divergent event), 2 on usage errors.  The hidden ``--worker`` mode
+is the per-run subprocess body spawned by :mod:`repro.dsan.runner` —
+it executes one scenario into a digest sink and prints the chain and
+records as JSON on stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Sequence
+
+from ..lint.output import render
+from .runner import SCENARIOS, compare, diagnose, run_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dsan",
+        description=(
+            "Determinism sanitizer: replay a scenario under perturbation "
+            "and bisect the telemetry digest chains to the first "
+            "divergent event."
+        ),
+    )
+    parser.add_argument(
+        "scenario",
+        nargs="?",
+        choices=sorted(SCENARIOS),
+        help="scenario to sanitize (see --list)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=0, help="simulation seed (default 0)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="smaller workload (CI-sized)"
+    )
+    parser.add_argument(
+        "--hashseed-perturb",
+        action="store_true",
+        help="run the second pass under a different PYTHONHASHSEED",
+    )
+    parser.add_argument(
+        "--gc-jitter",
+        action="store_true",
+        help="force gc.collect() on a cadence in the second pass",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default="text",
+        help="report format (default text)",
+    )
+    parser.add_argument(
+        "--output", help="write the report here instead of stdout"
+    )
+    parser.add_argument(
+        "--list", action="store_true", help="list scenarios and exit"
+    )
+    # Internal: subprocess body for one sanitizer run.
+    parser.add_argument("--worker", action="store_true", help=argparse.SUPPRESS)
+    parser.add_argument(
+        "--gc-every", type=int, default=0, help=argparse.SUPPRESS
+    )
+    return parser
+
+
+def _worker(args: argparse.Namespace) -> int:
+    """One in-process run; prints ``{"chain": ..., "records": ...}``."""
+    sink = run_scenario(
+        args.scenario, args.seed, quick=args.quick, gc_every=args.gc_every
+    )
+    assert sink.records is not None
+    json.dump(
+        {
+            "chain": sink.chain,
+            "records": [record.to_dict() for record in sink.records],
+        },
+        sys.stdout,
+    )
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    if args.list:
+        for name in sorted(SCENARIOS):
+            doc = (SCENARIOS[name].__doc__ or "").strip().splitlines()[0]
+            print(f"{name:<10} {doc}")
+        return 0
+    if args.scenario is None:
+        parser.print_usage(sys.stderr)
+        print("repro-dsan: a scenario is required (see --list)", file=sys.stderr)
+        return 2
+    if args.worker:
+        return _worker(args)
+
+    divergence = compare(
+        args.scenario,
+        args.seed,
+        quick=args.quick,
+        hashseed_perturb=args.hashseed_perturb,
+        gc_jitter=args.gc_jitter,
+    )
+    findings = diagnose(divergence)
+    report = render(findings, args.format)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as file:
+            file.write(report)
+            file.write("\n")
+    elif report:
+        print(report)
+    if divergence.diverged:
+        print(
+            f"repro-dsan: {args.scenario} seed {args.seed} diverged at "
+            f"event {divergence.index} ({divergence.perturbation})",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"repro-dsan: {args.scenario} seed {args.seed} replayed "
+        f"bit-identically over {divergence.baseline_len} events "
+        f"({divergence.perturbation})",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry
+    raise SystemExit(main())

@@ -21,7 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..cluster.cluster import RunResult
-from ..cluster.faults import FaultSchedule
+from ..membership.faults import FaultSchedule
 from ..core.anu import ANUPlacement
 from ..core.interval import MappedInterval
 from ..core.tuning import DelegateTuner, ServerReport, TuningConfig

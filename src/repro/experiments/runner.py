@@ -12,7 +12,7 @@ from __future__ import annotations
 from typing import Callable
 
 from ..cluster.cluster import ClusterConfig, ClusterSimulation, RunResult
-from ..cluster.faults import FaultSchedule
+from ..membership.faults import FaultSchedule
 from ..core.tuning import (
     AGGRESSIVE,
     ALL_HEURISTICS,

@@ -60,6 +60,8 @@ class CallGraph:
         #: callee qualname -> set of caller qualnames.
         self.callers: dict[str, set[str]] = {}
         self.unknown: list[UnknownCall] = []
+        #: fn qualname -> inferred receiver types (resolve_site memo).
+        self._types_cache: dict[str, dict[str, str]] = {}
         for module in project.modules.values():
             self._collect_functions(module)
         for fn in list(self.functions.values()):
@@ -215,6 +217,24 @@ class CallGraph:
     # ------------------------------------------------------------------
     # Queries
     # ------------------------------------------------------------------
+    def resolve_site(self, fn: FunctionNode, call: ast.Call) -> str | None:
+        """Resolve one call site inside ``fn`` to a function qualname.
+
+        Same resolution as edge construction, exposed per-site so
+        analyses that care about *statement order* (the effect summaries
+        in :mod:`repro.lint.flow.effects`) can ask about a specific call
+        rather than the order-less edge set.  Local type inference is
+        cached per function.
+        """
+        module = self.project.modules.get(fn.module)
+        if module is None:
+            return None
+        types = self._types_cache.get(fn.qualname)
+        if types is None:
+            types = infer_local_types(self.project, module, fn)
+            self._types_cache[fn.qualname] = types
+        return self._resolve_call(module, fn, call, types)
+
     def reachable_from(self, roots: set[str]) -> set[str]:
         """All functions reachable from ``roots`` (cycle-safe BFS)."""
         seen = set(roots)
@@ -283,8 +303,9 @@ def class_attr_types(
     """attr name -> project class qualname, from annotations and __init__.
 
     Sources, in increasing priority: class-body ``AnnAssign`` fields,
-    ``self.x: T = ...`` annotations anywhere in the class, and
-    ``self.x = ClassName(...)`` constructor assignments in ``__init__``.
+    ``self.x: T = ...`` annotations anywhere in the class,
+    ``self.x = ClassName(...)`` constructor assignments in ``__init__``,
+    and ``self.x = param`` binds of annotated ``__init__`` parameters.
     """
     out: dict[str, str] = {}
     for name, ann in info.field_annotations.items():
@@ -304,21 +325,31 @@ def class_attr_types(
                     out[stmt.target.attr] = found
     init = info.methods.get("__init__")
     if init is not None:
+        params: dict[str, str] = {}
+        args = init.args
+        for arg in [*args.posonlyargs, *args.args, *args.kwonlyargs]:
+            found = annotation_class(project, module, arg.annotation)
+            if found is not None:
+                params[arg.arg] = found
         for stmt in init.body:
-            if (
+            if not (
                 isinstance(stmt, ast.Assign)
                 and len(stmt.targets) == 1
                 and isinstance(stmt.targets[0], ast.Attribute)
                 and isinstance(stmt.targets[0].value, ast.Name)
                 and stmt.targets[0].value.id == "self"
-                and isinstance(stmt.value, ast.Call)
             ):
+                continue
+            attr = stmt.targets[0].attr
+            if isinstance(stmt.value, ast.Call):
                 chain = dotted_name(stmt.value.func)
                 if not chain:
                     continue
                 symbol = project.resolve_dotted(module, chain)
                 if symbol is not None and symbol.kind == "class":
-                    out[stmt.targets[0].attr] = symbol.qualname
+                    out[attr] = symbol.qualname
+            elif isinstance(stmt.value, ast.Name) and stmt.value.id in params:
+                out[attr] = params[stmt.value.id]
     return out
 
 

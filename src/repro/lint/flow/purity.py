@@ -1,0 +1,100 @@
+"""RPL104 — impure ambient reads reachable from seeded entry points.
+
+A seeded run must be a pure function of its scenario and seed.  The
+entry points below are the roots of every reproduction result — the
+:class:`~repro.runtime.scenario.Scenario` runners, the harness ``run``
+methods they drive, the shared tuning loop, the fault injector, and the
+membership director.  Any function reachable from one of them that reads
+*process-ambient* state — ``os.environ``, the wall clock, global-RNG
+draws, or a module-level global some function mutates — makes two runs
+with the same seed silently diverge depending on the environment, the
+host's clock, or what ran earlier in the process.
+
+The per-file rules already police direct clock/RNG calls file by file
+(RPL001/RPL002); this rule adds what only the call graph can see:
+*reachability* (an ambient read buried in a utility module only matters
+once a seeded path can reach it) and mutable-global reads, which have no
+per-file signature at all — the read site looks like any other name.
+
+``repro.contracts`` is exempt by design: it reads its enable flag
+(``REPRO_CONTRACTS``) at import and flips ``_enabled`` only through the
+documented ``set_contracts`` switch — contracts are a debugging layer
+that is *observationally* pure (validators never mutate or draw), and
+gating them on the environment is their whole purpose.
+"""
+
+from __future__ import annotations
+
+from ..diagnostics import Diagnostic
+from ..rules import FlowRule, register
+from .effects import effect_analysis
+
+#: Seeded entry points: every reproduction result flows from one of these.
+ROOTS = (
+    "repro.runtime.scenario.Scenario.run_cluster",
+    "repro.runtime.scenario.Scenario.run_full_system",
+    "repro.runtime.scenario.Scenario.run_protocol",
+    "repro.cluster.cluster.ClusterSimulation.run",
+    "repro.cluster.protocol_driver.ProtocolDrivenCluster.run",
+    "repro.fs.simulation.FullSystemSimulation.run",
+    "repro.runtime.loop.TuningLoop._round",
+    "repro.membership.injector.FaultInjector.generate",
+    "repro.membership.injector.FaultInjector.events",
+    "repro.membership.director.MembershipDirector.apply",
+)
+
+#: Modules whose ambient reads are sanctioned (see module docstring).
+EXEMPT_MODULES = frozenset({"repro.contracts"})
+
+
+@register
+class ImpureAmbientRead(FlowRule):
+    """Seeded runs must not read ambient process state.
+
+    The effect analysis summarizes every function's ambient reads
+    (environment variables, wall clock, global-RNG draws, mutated
+    module globals) and this rule reports each read site reachable from
+    a seeded entry point, naming the root that reaches it.  Functions
+    the call graph cannot connect to a root are not reported — positive
+    evidence only — so utility code that a seeded path never touches
+    stays free to read its environment.
+    """
+
+    id = "RPL104"
+    title = "ambient state read reachable from a seeded entry point"
+    hint = (
+        "thread the value through the scenario/config (or a named RNG "
+        "stream) instead of reading process state"
+    )
+
+    def run(self) -> list[Diagnostic]:
+        analysis = effect_analysis(self.project)
+        graph = analysis.graph
+        roots = [r for r in ROOTS if r in graph.functions]
+        if not roots:
+            return []
+        seen: set[tuple] = set()
+        for root in roots:
+            for qualname in sorted(graph.reachable_from({root})):
+                node = graph.functions.get(qualname)
+                if node is None or node.module in EXEMPT_MODULES:
+                    # Constructor edges point at class qualnames; their
+                    # __init__ bodies are separate nodes already covered.
+                    continue
+                summary = analysis.summaries[qualname]
+                for read in summary.reads:
+                    key = (read.path, read.line, read.col, read.detail)
+                    if key in seen:
+                        continue
+                    seen.add(key)
+                    where = (
+                        "" if qualname == root else f" (in {qualname})"
+                    )
+                    self.report(
+                        read.path,
+                        read.line,
+                        read.col,
+                        f"{read.kind} read of {read.detail} is reachable "
+                        f"from seeded entry point {root}{where}",
+                    )
+        return sorted(self.diagnostics)

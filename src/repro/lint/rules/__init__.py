@@ -16,12 +16,16 @@ Rule catalogue
 - ``RPL007`` — mutable default argument
 - ``RPL008`` — bare ``except:``
 - ``RPL009`` — ``global`` statement in production code
+- ``RPL011`` — import through a compatibility shim module
 
 Interprocedural (flow) rules — see :mod:`repro.lint.flow`:
 
 - ``RPL101`` — RNG-stream provenance across function/class boundaries
 - ``RPL102`` — ticks/seconds unit consistency across calls and returns
 - ``RPL103`` — mutation of contract-protected state outside mutators
+- ``RPL104`` — ambient state read reachable from a seeded entry point
+- ``RPL105`` — telemetry pair split by an exception path
+- ``RPL106`` — protected state written before a reachable raise
 """
 
 from __future__ import annotations
@@ -156,5 +160,12 @@ def dotted_name(node: ast.AST) -> tuple[str, ...]:
 # Import rule modules for their registration side effects.  The flow
 # modules import back into this package (FlowRule, dotted_name), which is
 # safe because everything they need is defined above this line.
-from . import arithmetic, determinism, hygiene  # noqa: E402,F401
-from ..flow import mutation, rng_provenance, units  # noqa: E402,F401
+from . import arithmetic, determinism, hygiene, shims  # noqa: E402,F401
+from ..flow import (  # noqa: E402,F401
+    mutation,
+    purity,
+    rng_provenance,
+    telemetry_gap,
+    torn_state,
+    units,
+)

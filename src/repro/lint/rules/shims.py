@@ -1,0 +1,88 @@
+"""RPL011 — imports of documented compatibility-shim modules.
+
+When a module moves (``cluster/faults.py`` → ``membership/faults.py``),
+the old path stays behind as a one-line re-export shim so external
+callers keep working.  In-repo code, however, must import the canonical
+home: every shim import is a dependency edge pointing at the *old*
+layering, and the shims can never be retired while the repo itself still
+feeds them.  This rule pins the migration — new code that reaches for a
+shim path is caught at lint time rather than in review.
+
+The shim table below is the single source of truth; retiring a shim
+means deleting its file *and* its row here.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from . import Rule, register
+
+#: Documented re-export shims: old import path -> canonical module.
+SHIM_MODULES = {
+    "repro.cluster.faults": "repro.membership.faults",
+}
+
+
+@register
+class ShimImport(Rule):
+    """RPL011: in-repo code must not import through re-export shims.
+
+    A shim exists for *external* compatibility only.  Importing it from
+    inside the repo re-creates the dependency the move was meant to
+    dissolve and keeps the shim permanently load-bearing.  Import the
+    canonical module named in the diagnostic instead.
+    """
+
+    id = "RPL011"
+    title = "import through a compatibility shim module"
+    hint = "import the canonical module the shim re-exports"
+
+    def _flag(self, node: ast.stmt, shim: str) -> None:
+        self.report(
+            node,
+            f"{shim} is a compatibility shim — import "
+            f"{SHIM_MODULES[shim]} instead",
+        )
+
+    def _relative_base(self, level: int) -> list[str] | None:
+        """Package parts a ``from .`` import resolves against, or None."""
+        module_path = getattr(self.ctx, "module_path", None)
+        if not module_path:
+            return None
+        # A plain module resolves relative to its package; an
+        # __init__.py relative to itself — both drop the last segment
+        # ("mod" or the literal "__init__").
+        parts = ["repro", *module_path[: -len(".py")].split("/")][:-1]
+        drop = level - 1
+        if drop > len(parts):
+            return None
+        return parts[: len(parts) - drop] if drop else parts
+
+    def visit_Import(self, node: ast.Import) -> None:
+        """Flag ``import repro.cluster.faults``-style shim imports."""
+        for alias in node.names:
+            if alias.name in SHIM_MODULES:
+                self._flag(node, alias.name)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        """Flag ``from <shim> import ...`` in absolute or relative form."""
+        if node.level == 0:
+            base = node.module.split(".") if node.module else []
+        else:
+            parts = self._relative_base(node.level)
+            if parts is None:
+                self.generic_visit(node)
+                return
+            base = [*parts, *(node.module.split(".") if node.module else [])]
+        target = ".".join(base)
+        if target in SHIM_MODULES:
+            self._flag(node, target)
+        else:
+            # ``from repro.cluster import faults`` imports the shim too.
+            for alias in node.names:
+                candidate = f"{target}.{alias.name}" if target else alias.name
+                if candidate in SHIM_MODULES:
+                    self._flag(node, candidate)
+        self.generic_visit(node)

@@ -153,39 +153,52 @@ class MembershipDirector:
             now = self._clock() if self._clock is not None else Seconds(0.0)
         kind = event.kind
         sink = self.telemetry
-        if sink.enabled:
-            sink.emit(
-                FaultInjected(time=now, fault=kind.value, server=event.server)
-            )
-        orphans: Any = None
+        # Legality first: the roster transition validates (and records)
+        # the membership change, raising LifecycleError on an illegal
+        # event *before* any telemetry is published — a rejected event
+        # must leave no trace in the record stream (RPL105).  The roster
+        # emits nothing itself, so for legal events the stream is
+        # byte-identical to emitting up front.
         if kind is FaultKind.DELEGATE_CRASH:
             if self.roster.live_count < 2:
                 raise LifecycleError(
                     f"delegate crash with {self.roster.live_count} live "
                     f"server(s); fail-over needs a surviving server"
                 )
+        elif kind is FaultKind.FAIL:
+            self.roster.fail(event.server)
+        elif kind is FaultKind.DECOMMISSION:
+            self.roster.decommission(event.server)
+        elif kind is FaultKind.RECOVER:
+            self.roster.recover(event.server)
+        elif kind is FaultKind.COMMISSION:
+            self.roster.commission(event.server, event.speed)
+        else:  # pragma: no cover - enum is closed
+            raise AssertionError(f"unhandled fault kind {kind!r}")
+        if sink.enabled:
+            sink.emit(
+                FaultInjected(time=now, fault=kind.value, server=event.server)
+            )
+        # Realization: drive the host and re-place load now that the
+        # event is known legal and announced.
+        orphans: Any = None
+        diff: ReconfigDiff | None = None
+        if kind is FaultKind.DELEGATE_CRASH:
             victim = self.host.delegate_failover(now)
             if victim is not None:
                 self.roster.fail(victim)
-            diff = None
         elif kind is FaultKind.FAIL:
-            self.roster.fail(event.server)
             orphans = self.host.crash_server(event.server, now)
             diff = self._rebalance(now)
         elif kind is FaultKind.DECOMMISSION:
-            self.roster.decommission(event.server)
             self.host.drain_server(event.server, now)
             diff = self._rebalance(now)
         elif kind is FaultKind.RECOVER:
-            self.roster.recover(event.server)
             self.host.restart_server(event.server, now)
             diff = self._rebalance(now)
         elif kind is FaultKind.COMMISSION:
-            self.roster.commission(event.server, event.speed)
             self.host.install_server(event.server, event.speed, now)
             diff = self._rebalance(now)
-        else:  # pragma: no cover - enum is closed
-            raise AssertionError(f"unhandled fault kind {kind!r}")
 
         live = tuple(self.roster.live())
         orphaned = rebalanced = 0

@@ -15,6 +15,7 @@ from .telemetry import (
     NULL_SINK,
     CallbackSink,
     DelegateElected,
+    DigestSink,
     FaultInjected,
     JsonlSink,
     MembershipChanged,
@@ -29,6 +30,7 @@ from .telemetry import (
     TelemetryRecord,
     TelemetrySink,
     TuningDecided,
+    first_divergence,
     read_jsonl,
     record_from_dict,
 )
@@ -45,6 +47,7 @@ __all__ = [
     "NULL_SINK",
     "CallbackSink",
     "DelegateElected",
+    "DigestSink",
     "FaultInjected",
     "JsonlSink",
     "MembershipChanged",
@@ -59,6 +62,7 @@ __all__ = [
     "TelemetryRecord",
     "TelemetrySink",
     "TuningDecided",
+    "first_divergence",
     "read_jsonl",
     "record_from_dict",
 ]

@@ -17,13 +17,16 @@ Sinks:
 
 - :class:`MemorySink` — in-process list with query helpers (tests, metrics);
 - :class:`JsonlSink` — one JSON object per line for offline analysis;
+- :class:`DigestSink` — rolling hash chain for replay comparison
+  (:mod:`repro.dsan`);
 - :data:`NULL_SINK` — the disabled default.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
-from dataclasses import asdict, dataclass, field
+from dataclasses import asdict, dataclass, field, fields
 from typing import Any, Callable, ClassVar, IO, Iterable, Iterator
 
 from ..units import Seconds
@@ -44,6 +47,8 @@ __all__ = [
     "NULL_SINK",
     "MemorySink",
     "JsonlSink",
+    "DigestSink",
+    "first_divergence",
     "record_from_dict",
 ]
 
@@ -316,6 +321,94 @@ class TeeSink(TelemetrySink):
     def close(self) -> None:
         for sink in self.sinks:
             sink.close()
+
+
+#: Per-record-class field-name cache for :class:`DigestSink` — avoids
+#: re-walking ``dataclasses.fields`` on every emission.
+_DIGEST_FIELDS: dict[type, tuple[str, ...]] = {}
+
+
+def _canonical_value(value: Any) -> Any:
+    """Normalize a record field for hashing: dicts hash by sorted items.
+
+    Two dicts that compare equal must hash equally regardless of
+    insertion order — otherwise the chain would flag a "divergence" on
+    runs whose records are ``==``-identical.
+    """
+    if type(value) is dict:
+        return tuple(sorted(value.items()))
+    return value
+
+
+class DigestSink(TelemetrySink):
+    """Folds every record into a rolling hash chain (the dsan backbone).
+
+    ``chain[i]`` is a 128-bit BLAKE2b digest of record *i*'s canonical
+    payload — ``repr`` of ``(kind, *field values)`` with dict fields
+    item-sorted — chained onto digest ``i-1``, so ``chain[i]`` of two
+    runs is equal **iff** their first ``i+1`` records are equal.  That
+    prefix property is what lets :mod:`repro.dsan` binary-search two
+    chains for the first divergent event instead of replaying both
+    streams side by side.  (``repr`` rather than JSON: float reprs are
+    exact shortest round-trips, and skipping the dict build plus
+    serializer keeps the per-record cost a few microseconds — the bench
+    suite gates a full hashed run at roughly 2x the silent run.)
+
+    With ``keep_records=True`` the raw records are retained as well so
+    the divergent event can be *named*, not just indexed; leave it off
+    for pure chain comparison (e.g. the CI smoke job) where memory
+    should stay flat.
+    """
+
+    def __init__(self, keep_records: bool = False) -> None:
+        self.chain: list[str] = []
+        self.records: list[TelemetryRecord] | None = (
+            [] if keep_records else None
+        )
+        self._last = b""
+
+    def emit(self, record: TelemetryRecord) -> None:
+        """Chain the record's canonical payload onto the running digest."""
+        cls = type(record)
+        names = _DIGEST_FIELDS.get(cls)
+        if names is None:
+            names = tuple(f.name for f in fields(record))
+            _DIGEST_FIELDS[cls] = names
+        payload = repr(
+            (record.kind, *[_canonical_value(getattr(record, n)) for n in names])
+        ).encode()
+        digest = hashlib.blake2b(self._last + payload, digest_size=16)
+        self._last = digest.digest()
+        self.chain.append(digest.hexdigest())
+        if self.records is not None:
+            self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.chain)
+
+
+def first_divergence(a: list[str], b: list[str]) -> int | None:
+    """Index of the first event where two digest chains diverge, or None.
+
+    Binary search, not a linear scan: the chain construction guarantees
+    ``a[i] == b[i]`` iff the record prefixes ``[0, i]`` match, so the
+    divergence point is the boundary of a monotone predicate.  If one
+    chain is a strict prefix of the other, the first missing index is
+    the divergence (the shorter run stopped emitting there).
+    """
+    shared = min(len(a), len(b))
+    if shared and a[shared - 1] != b[shared - 1]:
+        lo, hi = 0, shared - 1  # invariant: a[hi] != b[hi]
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if a[mid] == b[mid]:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+    if len(a) != len(b):
+        return shared
+    return None
 
 
 class CallbackSink(TelemetrySink):

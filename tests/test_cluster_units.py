@@ -4,7 +4,7 @@ mover, fault schedules."""
 import numpy as np
 import pytest
 
-from repro.cluster.faults import FaultEvent, FaultKind, FaultSchedule
+from repro.membership.faults import FaultEvent, FaultKind, FaultSchedule
 from repro.cluster.fileset import FileSetState
 from repro.cluster.mover import FREE_MOVES, FileSetMover, MoveCostModel
 from repro.cluster.request import MetadataRequest

@@ -1,0 +1,198 @@
+"""The determinism sanitizer: digest chains, bisection, and the CLI.
+
+Three layers of coverage:
+
+- unit: :class:`DigestSink` chain algebra and :func:`first_divergence`;
+- determinism: every real scenario's digest chain is a pure function of
+  the seed when replayed in-process;
+- end to end: the planted-nondeterminism fixture, run through the real
+  subprocess pipeline, bisects to the *exact* first divergent event
+  (verified against a record-by-record ground truth), and the CLI
+  reports it with the right exit code and SARIF payload.
+
+The subprocess tests spawn four extra interpreters total; the planted
+scenario is tiny, so they stay well inside the tier-1 budget.
+"""
+
+import json
+
+import pytest
+
+from repro.dsan import cli
+from repro.dsan.runner import GcJitterSink, _spawn, compare, run_scenario
+from repro.runtime.telemetry import (
+    DigestSink,
+    MemorySink,
+    RequestArrived,
+    RequestCompleted,
+    first_divergence,
+)
+from repro.units import Seconds
+
+
+def _records(n, cost=0.25):
+    return [
+        RequestArrived(time=Seconds(float(i)), fileset=f"fs{i}", cost=cost)
+        for i in range(n)
+    ]
+
+
+# ----------------------------------------------------------------------
+# DigestSink
+# ----------------------------------------------------------------------
+def test_digest_chain_is_a_pure_function_of_the_record_prefix():
+    a, b = DigestSink(), DigestSink()
+    for record in _records(5):
+        a.emit(record)
+        b.emit(record)
+    assert len(a) == 5
+    assert a.chain == b.chain
+
+
+def test_digest_chain_diverges_at_first_differing_record_and_stays_diverged():
+    a, b = DigestSink(), DigestSink()
+    for record in _records(6):
+        a.emit(record)
+    for i, record in enumerate(_records(6, cost=0.25)):
+        if i == 3:
+            record = RequestArrived(
+                time=Seconds(3.0), fileset="fs3", cost=0.5
+            )
+        b.emit(record)
+    assert a.chain[:3] == b.chain[:3]
+    # Rolling chain: one differing record poisons every later link.
+    assert all(x != y for x, y in zip(a.chain[3:], b.chain[3:]))
+    assert first_divergence(a.chain, b.chain) == 3
+
+
+def test_digest_sink_keeps_records_only_on_request():
+    plain = DigestSink()
+    keeping = DigestSink(keep_records=True)
+    record = RequestCompleted(
+        time=Seconds(1.0), server="server0", latency=Seconds(0.5)
+    )
+    plain.emit(record)
+    keeping.emit(record)
+    assert plain.records is None
+    assert keeping.records == [record]
+    assert plain.chain == keeping.chain
+
+
+# ----------------------------------------------------------------------
+# first_divergence
+# ----------------------------------------------------------------------
+def test_first_divergence_equal_chains_and_empty():
+    chain = [f"h{i}" for i in range(8)]
+    assert first_divergence(chain, list(chain)) is None
+    assert first_divergence([], []) is None
+
+
+def test_first_divergence_strict_prefix_diverges_at_shorter_length():
+    chain = [f"h{i}" for i in range(8)]
+    assert first_divergence(chain, chain[:5]) == 5
+    assert first_divergence(chain[:5], chain) == 5
+    assert first_divergence([], chain) == 0
+
+
+@pytest.mark.parametrize("where", [0, 1, 4, 7])
+def test_first_divergence_bisects_to_any_position(where):
+    """Chain property: link i differs iff some record <= i differed."""
+    good = [f"h{i}" for i in range(8)]
+    bad = good[:where] + [f"X{i}" for i in range(where, 8)]
+    assert first_divergence(good, bad) == where
+    # Unequal lengths past the divergence point do not move it (unless
+    # truncation removes the divergent link itself).
+    assert first_divergence(good, bad[:-2]) == min(where, len(bad) - 2)
+
+
+# ----------------------------------------------------------------------
+# In-process determinism of the real scenarios
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("scenario", ["cluster", "fs", "proto"])
+def test_scenario_chain_is_reproducible_and_seed_sensitive(scenario):
+    first = run_scenario(scenario, seed=1, quick=True)
+    again = run_scenario(scenario, seed=1, quick=True)
+    other = run_scenario(scenario, seed=2, quick=True)
+    assert len(first.chain) > 0
+    assert first.chain == again.chain
+    assert first.chain != other.chain
+
+
+def test_run_scenario_rejects_unknown_name():
+    with pytest.raises(ValueError, match="unknown scenario"):
+        run_scenario("nope", seed=0)
+
+
+def test_gc_jitter_sink_forwards_every_record():
+    inner = MemorySink()
+    sink = GcJitterSink(inner, every=2)
+    records = _records(5)
+    for record in records:
+        sink.emit(record)
+    assert inner.records == records
+
+
+# ----------------------------------------------------------------------
+# End to end: the planted fixture through the subprocess pipeline
+# ----------------------------------------------------------------------
+def test_planted_bisects_to_exact_first_divergent_event():
+    seed = 5
+    baseline = _spawn("planted", seed, quick=True, hashseed=0, gc_every=0)
+    perturbed = _spawn("planted", seed, quick=True, hashseed=1, gc_every=0)
+    # Ground truth from the records themselves, independent of digests.
+    truth = next(
+        i
+        for i, (a, b) in enumerate(
+            zip(baseline["records"], perturbed["records"])
+        )
+        if a != b
+    )
+    divergence = compare("planted", seed, quick=True, hashseed_perturb=True)
+    assert divergence.diverged
+    assert divergence.index == truth
+    assert divergence.baseline_record == baseline["records"][truth]
+    assert divergence.perturbed_record == perturbed["records"][truth]
+    # The fixture's arrival prefix is sorted, hence stable: the first
+    # divergent event must be a set-ordered dispatch.
+    arrivals = 16 + seed % 7
+    assert divergence.index >= arrivals
+    assert divergence.baseline_record["kind"] == "dispatch"
+
+
+def test_planted_replays_identically_without_perturbation(capsys):
+    exit_code = cli.main(["planted", "--seed", "5", "--quick"])
+    assert exit_code == 0
+    assert "bit-identically" in capsys.readouterr().err
+
+
+def test_cli_reports_planted_divergence_as_sarif(tmp_path):
+    out = tmp_path / "dsan.sarif"
+    exit_code = cli.main(
+        [
+            "planted",
+            "--seed",
+            "5",
+            "--quick",
+            "--hashseed-perturb",
+            "--format",
+            "sarif",
+            "--output",
+            str(out),
+        ]
+    )
+    assert exit_code == 1
+    sarif = json.loads(out.read_text())
+    results = sarif["runs"][0]["results"]
+    assert len(results) == 1
+    assert results[0]["ruleId"] == "DSAN001"
+    location = results[0]["locations"][0]["physicalLocation"]
+    assert location["artifactLocation"]["uri"] == "dsan/planted"
+
+
+def test_cli_usage_errors(capsys):
+    assert cli.main([]) == 2
+    assert "scenario is required" in capsys.readouterr().err
+    assert cli.main(["--list"]) == 0
+    listing = capsys.readouterr().out
+    for name in ("cluster", "fs", "proto", "planted"):
+        assert name in listing

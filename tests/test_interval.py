@@ -257,3 +257,26 @@ def test_locate_point_whole_partition_edges():
             last = (idx * psize + psize - 1) / RESOLUTION
             assert iv.locate_point(first) == name
             assert iv.locate_point(last) == name
+
+
+def test_add_server_invalid_share_leaves_interval_untouched():
+    """Regression (RPL106): a rejected add_server must not repartition.
+
+    Before the validate-then-mutate fix, add_server doubled the
+    partition count (to fit the prospective newcomer) *before* checking
+    share_fraction, so a rejected call left the interval torn: same
+    owners, twice the partitions.
+    """
+    iv = MappedInterval(["a", "b", "c"])
+    partitions_before = iv.partitions
+    shares_before = dict(iv.shares())
+    for bad in (0.0, 1.0, 1.5, -0.25):
+        with pytest.raises(IntervalError):
+            iv.add_server("d", share_fraction=bad)
+        assert iv.partitions == partitions_before
+        assert dict(iv.shares()) == shares_before
+        iv.check_invariants()
+    # A legal add still repartitions and lands the newcomer.
+    iv.add_server("d")
+    assert "d" in iv.servers
+    iv.check_invariants()

@@ -17,7 +17,7 @@ tests      RPL001/RPL002 (tests seed ad-hoc generators on purpose),
 benchmarks same as tests — harness code, not simulation code
 ========== =========================================================
 
-The whole-program rules (RPL101-103) run wherever package files are in
+The whole-program rules (RPL101-106) run wherever package files are in
 the lint set and are never excluded by tree: they analyze ``src/repro``
 itself, so the tree containing the *entry path* is irrelevant.
 """

@@ -319,3 +319,38 @@ def test_director_emits_telemetry_records():
     assert record.fault == "fail"
     assert record.live == 1
     assert record.orphaned + record.rebalanced >= 1
+
+
+def test_director_rejected_event_emits_no_telemetry():
+    """Regression (RPL105): an illegal event leaves no dangling record.
+
+    Before the validate-then-emit fix the director published
+    ``FaultInjected`` *before* asking the roster whether the transition
+    was legal, so a rejected event left a fault record with no matching
+    ``membership`` record — and any digest-chain comparison against the
+    true harness state diverged from that point on.
+    """
+    from repro.runtime import MemorySink
+
+    roster = MembershipRoster({"a": 1.0, "b": 2.0})
+    host = RecordingHost(roster, ["f0", "f1"])
+    sink = MemorySink()
+    director = MembershipDirector(roster, host, telemetry=sink)
+    # Illegal transition (recover a live server): rejected silently.
+    with pytest.raises(LifecycleError):
+        director.apply(FaultEvent(Seconds(1.0), FaultKind.RECOVER, "a"))
+    assert sink.records == []
+    # Duplicate commission: also rejected before any emission.
+    with pytest.raises(LifecycleError):
+        director.apply(FaultEvent(Seconds(2.0), FaultKind.COMMISSION, "a"))
+    assert sink.records == []
+    # Delegate crash without a survivor: same guarantee.
+    director.apply(FaultEvent(Seconds(3.0), FaultKind.FAIL, "a"))
+    sink.records.clear()
+    with pytest.raises(LifecycleError):
+        director.apply(FaultEvent(Seconds(4.0), FaultKind.DELEGATE_CRASH, "*"))
+    assert sink.records == []
+    assert host.calls[-1][0] != "failover"
+    # A legal event still emits the full fault/membership pair.
+    director.apply(FaultEvent(Seconds(5.0), FaultKind.RECOVER, "a"))
+    assert [r.kind for r in sink.records] == ["fault", "membership"]
