@@ -34,6 +34,7 @@ DEFAULT_SUITES = (
     "runtime",
     "membership",
     "dsan",
+    "sweep",
 )
 
 #: Fixture names the runner can inject, beyond parametrized arguments.

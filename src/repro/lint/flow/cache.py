@@ -26,6 +26,7 @@ import hashlib
 import json
 from pathlib import Path
 
+from ...sweep.api import register_process_cache
 from ..diagnostics import Diagnostic
 
 #: Default cache directory, resolved relative to the working directory.
@@ -51,6 +52,9 @@ def version_token() -> str:
         digest.update(source.name.encode())
         digest.update(source.read_bytes())
     return digest.hexdigest()
+
+
+register_process_cache(version_token.cache_clear)
 
 
 def rules_token(rule_ids) -> str:

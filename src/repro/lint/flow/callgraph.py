@@ -10,7 +10,9 @@ resolvable calls between them.  Resolution handles:
 - method calls on receivers whose class is inferable — from a parameter
   annotation, a constructor assignment in the same function, or a
   ``self.attr`` whose type was pinned in ``__init__``/an annotation,
-- constructor calls (edge to ``Class.__init__`` when defined).
+- constructor calls (edge to ``Class.__init__`` when defined, else to
+  ``Class.__post_init__`` for dataclasses that define one),
+- chained constructor calls (``ClassName(...).method(...)``).
 
 Anything else — callbacks invoked through variables, ``getattr``,
 subscripted lookups — is recorded in :attr:`CallGraph.unknown` rather
@@ -159,6 +161,27 @@ class CallGraph:
     ) -> str | None:
         chain = dotted_name(call.func)
         if not chain:
+            # Chained calls: ClassName(...).method(...) resolves through
+            # the constructed class; helper(...).method(...) through the
+            # helper's return annotation.
+            if isinstance(call.func, ast.Attribute) and isinstance(
+                call.func.value, ast.Call
+            ):
+                inner = self._resolve_call(
+                    module, fn, call.func.value, types
+                )
+                if inner is not None:
+                    class_qual = inner
+                    for suffix in (".__init__", ".__post_init__"):
+                        if class_qual.endswith(suffix):
+                            class_qual = class_qual[: -len(suffix)]
+                    info = self.project.class_info(class_qual)
+                    if info is None:
+                        returned = self._return_class(inner)
+                        if returned is not None:
+                            info = self.project.class_info(returned)
+                    if info is not None:
+                        return self._resolve_method(info, call.func.attr)
             return None
         # self.method(...) — resolve within the enclosing class (and bases).
         if chain[0] == "self" and fn.owner is not None and len(chain) == 2:
@@ -185,8 +208,22 @@ class CallGraph:
             info = self.project.class_info(symbol.qualname)
             if info is not None and info.has_explicit_init:
                 return f"{symbol.qualname}.__init__"
+            if info is not None and "__post_init__" in info.methods:
+                # Dataclass with a generated __init__: construction runs
+                # __post_init__, so reachability must flow through it.
+                return f"{symbol.qualname}.__post_init__"
             return symbol.qualname  # constructor of an implicit __init__
         return None
+
+    def _return_class(self, qualname: str) -> str | None:
+        """The project class a function's return annotation names."""
+        fn = self.functions.get(qualname)
+        if fn is None:
+            return None
+        module = self.project.modules.get(fn.module)
+        if module is None:
+            return None
+        return annotation_class(self.project, module, fn.node.returns)
 
     def _resolve_method(
         self, info: ClassInfo, name: str, _depth: int = 0

@@ -160,16 +160,23 @@ def finalize(lattice: Lattice, max_rounds: int = 3) -> None:
     """
     for _ in range(max_rounds):
         lattice.solve()
-        changed = False
+        # Resolve every receiver against this round's snapshot *before*
+        # mutating the store: an add() invalidates the solution, so
+        # interleaving add with resolve re-runs the full fixpoint once
+        # per store (quadratic in practice).  Batched, each round costs
+        # exactly one solve.
+        pending: list[tuple[Atom, frozenset]] = []
         for store in lattice.stores:
             for atom in lattice.resolve(store.owner_atoms):
                 if atom.kind != "instance":
                     continue
-                target = attr(atom.key[0], store.attr)
-                before = len(lattice.defs.get(target, ()))
-                lattice.add(target, store.values)
-                if len(lattice.defs[target]) != before:
-                    changed = True
+                pending.append((attr(atom.key[0], store.attr), store.values))
+        changed = False
+        for target, values in pending:
+            before = len(lattice.defs.get(target, ()))
+            lattice.add(target, values)
+            if len(lattice.defs[target]) != before:
+                changed = True
         if not changed:
             break
     lattice.solve()

@@ -1,0 +1,186 @@
+"""RPL107 — fork-divergent state reachable from worker entries.
+
+A worker process must compute its result from its *inputs*, never from
+what the parent process happened to accumulate.  State that differs
+between a forked child (inherits everything) and a spawned child (starts
+empty) makes results depend on the platform's start method and on what
+ran in the parent first — the exact nondeterminism the sweep engine's
+byte-identical-merge guarantee forbids.
+
+Three kinds of positive evidence, all rooted at worker entries (the
+:mod:`~repro.lint.flow.workers` index) and closed over the call graph:
+
+- a **read of a rebindable module global** (one some function rebinds
+  via ``global``) — the value seen depends on process history;
+- a **write to a module-level mutable container** (dict/list/set/...)
+  — worker-side mutation of shared-looking state that is actually
+  per-process and silently diverges between start methods;
+- a **call to a ``functools.lru_cache``/``cache`` function** — the memo
+  lives in parent memory under fork and is empty under spawn.
+
+Sanctioned state is exempt: a global whose ``.clear`` (or a hook
+touching it) is registered with
+:func:`repro.sweep.api.register_process_cache`, and a memo function
+whose ``cache_clear`` is registered — registration is statically
+visible proof that every worker initializer resets the state before
+computing (see :func:`repro.sweep.api.clear_process_caches`).
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..diagnostics import Diagnostic
+from ..rules import FlowRule, dotted_name, register
+from .callgraph import iter_own_calls
+from .workers import worker_index
+
+
+def iter_own_nodes(fn: ast.AST):
+    """All AST nodes lexically inside ``fn`` but not inside a nested def."""
+    stack = list(ast.iter_child_nodes(fn))
+    while stack:
+        node = stack.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            continue
+        yield node
+        stack.extend(ast.iter_child_nodes(node))
+
+#: Modules whose state handling is the sanctioning mechanism itself.
+EXEMPT_MODULES = frozenset({"repro.sweep.api", "repro.contracts"})
+
+#: Container methods that mutate the receiver in place.
+MUTATING_METHODS = frozenset({
+    "append", "extend", "insert", "add", "update", "clear", "pop",
+    "popitem", "remove", "discard", "setdefault", "appendleft",
+})
+
+
+@register
+class ForkDivergentState(FlowRule):
+    """Worker-reachable code must not depend on parent-process memos.
+
+    For every function reachable from a worker entry, this rule reports
+    reads of ``global``-rebound module globals, in-place mutation of
+    module-level containers, and calls into ``functools``-memoized
+    functions — unless the state is registered with
+    ``register_process_cache`` (and therefore wiped at worker start).
+    """
+
+    id = "RPL107"
+    title = "fork-divergent state reachable from a worker entry"
+    hint = (
+        "pass the value through the worker payload, or register the "
+        "cache with repro.sweep.api.register_process_cache so worker "
+        "initializers clear it"
+    )
+
+    def run(self) -> list[Diagnostic]:
+        index = worker_index(self.project)
+        reached = index.reachable()
+        if not reached:
+            return []
+        seen: set[tuple] = set()
+        for qualname in sorted(reached):
+            fn = index.graph.functions.get(qualname)
+            if fn is None or fn.module in EXEMPT_MODULES:
+                continue
+            entry = reached[qualname]
+            summary = index.analysis.summaries[qualname]
+            for read in summary.reads:
+                if read.kind != "mutable-global":
+                    continue
+                if read.detail in index.exempt_globals:
+                    continue
+                self._report_once(
+                    seen, read.path, read.line, read.col,
+                    f"read of rebindable module global {read.detail} is "
+                    f"reachable from worker entry {entry} (in {qualname}); "
+                    f"its value depends on parent-process history",
+                )
+            self._scan_container_writes(index, fn, entry, seen)
+            self._scan_memo_calls(index, fn, entry, seen)
+        return sorted(self.diagnostics)
+
+    # ------------------------------------------------------------------
+    def _scan_container_writes(self, index, fn, entry: str, seen) -> None:
+        module = index.project.modules.get(fn.module)
+        if module is None:
+            return
+        path = module.ctx.path
+
+        def global_target(expr: ast.expr) -> str | None:
+            chain = dotted_name(expr)
+            if not chain:
+                return None
+            symbol = index.project.resolve_dotted(module, chain)
+            if (
+                symbol is not None
+                and symbol.kind == "value"
+                and symbol.qualname in index.mutable_globals
+                and symbol.qualname not in index.exempt_globals
+            ):
+                return symbol.qualname
+            return None
+
+        for node in iter_own_nodes(fn.node):
+            # G.append(...) / G.update(...) / ...
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr in MUTATING_METHODS
+            ):
+                target = global_target(node.func.value)
+                if target is not None:
+                    self._report_once(
+                        seen, path, node.lineno, node.col_offset,
+                        f"in-place mutation of module global {target} "
+                        f"({node.func.attr}) is reachable from worker "
+                        f"entry {entry} (in {fn.qualname})",
+                    )
+            # G[...] = ... / del G[...] / G |= ...
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.Delete)):
+                targets = (
+                    node.targets
+                    if isinstance(node, (ast.Assign, ast.Delete))
+                    else [node.target]
+                )
+                for tgt in targets:
+                    base = tgt
+                    while isinstance(base, ast.Subscript):
+                        base = base.value
+                    if base is tgt and not isinstance(node, ast.AugAssign):
+                        continue  # plain rebind of a local, not a store
+                    target = global_target(base)
+                    if target is not None:
+                        self._report_once(
+                            seen, path, node.lineno, node.col_offset,
+                            f"store into module global {target} is "
+                            f"reachable from worker entry {entry} "
+                            f"(in {fn.qualname})",
+                        )
+
+    def _scan_memo_calls(self, index, fn, entry: str, seen) -> None:
+        if not index.memo_functions:
+            return
+        module = index.project.modules.get(fn.module)
+        if module is None:
+            return
+        for call in iter_own_calls(fn.node):
+            callee = index.graph.resolve_site(fn, call)
+            if (
+                callee in index.memo_functions
+                and callee not in index.exempt_functions
+            ):
+                self._report_once(
+                    seen, module.ctx.path, call.lineno, call.col_offset,
+                    f"call to functools-memoized {callee} is reachable "
+                    f"from worker entry {entry} (in {fn.qualname}); the "
+                    f"memo differs between fork and spawn",
+                )
+
+    def _report_once(self, seen, path, line, col, message) -> None:
+        key = (path, line, col, message)
+        if key not in seen:
+            seen.add(key)
+            self.report(path, line, col, message)

@@ -1,0 +1,164 @@
+"""RPL109 — completion-order-dependent reduction of worker results.
+
+Parallel workers finish in whatever order the scheduler produces.  A
+merge loop that consumes results *as they complete* and accumulates them
+positionally (list append) or by non-associative arithmetic (running
+float sum) bakes that order into the output: two runs of the same sweep
+with different worker counts produce different bytes.  The deterministic
+shape is a reduce **keyed by a stable identity** (the sweep's cell id) —
+a dict store is commutative over arrival order; a sort before writing
+restores canonical order.
+
+Positive evidence: a ``for`` loop (or comprehension) iterating a
+completion-order source —
+
+- ``pool.imap_unordered(...)`` on a tracked pool local (``imap`` and
+  ``map`` preserve submission order and are fine),
+- ``concurrent.futures.as_completed(...)``
+
+— whose body appends/extends a list or float-accumulates into a plain
+local.  Keyed stores (``results[row["cell"]] = row``) are sanctioned, as
+are accumulators the same function later sorts (``.sort()`` /
+``sorted(acc)``) — sorting erases arrival order — and integer counters
+(``done += 1``), which are exactly commutative.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..diagnostics import Diagnostic
+from ..rules import FlowRule, dotted_name, register
+from .fork_state import iter_own_nodes
+from .workers import worker_index
+
+#: ``as_completed`` in both its import homes.
+AS_COMPLETED = frozenset({
+    "concurrent.futures.as_completed",
+    "concurrent.futures._base.as_completed",
+})
+
+
+def _sorted_names(fn_node: ast.AST) -> set[str]:
+    """Locals the function sorts at some point (arrival order erased)."""
+    sorted_locals: set[str] = set()
+    for node in iter_own_nodes(fn_node):
+        if not isinstance(node, ast.Call):
+            continue
+        if (
+            isinstance(node.func, ast.Name)
+            and node.func.id == "sorted"
+            and node.args
+            and isinstance(node.args[0], ast.Name)
+        ):
+            sorted_locals.add(node.args[0].id)
+        elif (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr == "sort"
+            and isinstance(node.func.value, ast.Name)
+        ):
+            sorted_locals.add(node.func.value.id)
+    return sorted_locals
+
+
+@register
+class OrderDependentReduce(FlowRule):
+    """Merges over worker results must be keyed, not positional.
+
+    Flags list appends and non-integer ``+=`` accumulation inside loops
+    over ``imap_unordered`` / ``as_completed`` iterators, unless the
+    accumulator is later sorted in the same function.
+    """
+
+    id = "RPL109"
+    title = "completion-order-dependent reduce over worker results"
+    hint = (
+        "key the merge by a stable cell/result id (dict store) and sort "
+        "before writing, instead of accumulating in arrival order"
+    )
+
+    def run(self) -> list[Diagnostic]:
+        index = worker_index(self.project)
+        for qualname, fn in sorted(index.graph.functions.items()):
+            module = index.project.modules.get(fn.module)
+            if module is None:
+                continue
+            pools, _ = index._executor_locals(module, fn)
+            sorted_locals = _sorted_names(fn.node)
+            for node in iter_own_nodes(fn.node):
+                loops = []
+                if isinstance(node, ast.For):
+                    loops.append((node.iter, node.body))
+                elif isinstance(
+                    node, (ast.ListComp, ast.SetComp, ast.GeneratorExp)
+                ):
+                    continue  # comprehensions build then bind — checked
+                    # via the For form; positional comprehension results
+                    # are consumed by the binding site, not hidden state.
+                for iter_expr, body in loops:
+                    source = self._completion_source(
+                        index, module, pools, iter_expr
+                    )
+                    if source is None:
+                        continue
+                    self._check_body(
+                        module, fn, qualname, source, body, sorted_locals
+                    )
+        return sorted(self.diagnostics)
+
+    # ------------------------------------------------------------------
+    def _completion_source(
+        self, index, module, pools: dict, iter_expr: ast.expr
+    ) -> str | None:
+        """The completion-order API an iterator expression drains, if any."""
+        if not isinstance(iter_expr, ast.Call):
+            return None
+        chain = dotted_name(iter_expr.func)
+        if not chain:
+            return None
+        qualified = index.project.qualify_chain(module, chain)
+        if qualified in AS_COMPLETED:
+            return "concurrent.futures.as_completed"
+        if len(chain) >= 2 and chain[-1] == "imap_unordered":
+            receiver = ".".join(chain[:-1])
+            if "pool" in pools.get(receiver, frozenset()):
+                return "multiprocessing.Pool.imap_unordered"
+        return None
+
+    def _check_body(
+        self, module, fn, qualname: str, source: str, body, sorted_locals
+    ) -> None:
+        path = module.ctx.path
+        for stmt in body:
+            for node in [stmt, *iter_own_nodes(stmt)]:
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("append", "extend")
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id not in sorted_locals
+                ):
+                    self.report(
+                        path, node.lineno, node.col_offset,
+                        f"{node.func.value.id}.{node.func.attr}() inside a "
+                        f"loop over {source} (in {qualname}) records "
+                        f"completion order; key the merge by cell id or "
+                        f"sort before use",
+                    )
+                elif (
+                    isinstance(node, ast.AugAssign)
+                    and isinstance(node.op, ast.Add)
+                    and isinstance(node.target, ast.Name)
+                    and not self._is_int_literal(node.value)
+                ):
+                    self.report(
+                        path, node.lineno, node.col_offset,
+                        f"running accumulation into {node.target.id!r} "
+                        f"inside a loop over {source} (in {qualname}); "
+                        f"float addition is not associative, so the total "
+                        f"depends on completion order",
+                    )
+
+    @staticmethod
+    def _is_int_literal(expr: ast.expr) -> bool:
+        return isinstance(expr, ast.Constant) and isinstance(expr.value, int)

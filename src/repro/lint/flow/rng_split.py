@@ -1,0 +1,134 @@
+"""RPL110 — worker randomness outside per-cell stream splitting.
+
+A sweep cell's result must be a pure function of its (seed, params)
+payload.  Randomness reachable from a worker entry therefore has exactly
+one legitimate source: streams split from the **cell's own seed**
+(:class:`repro.sim.rng.StreamFactory` children, named per purpose).
+Anything else re-couples cells to process state or to each other:
+
+- **global-RNG draws** (``random.random``, ``numpy.random.*``) — shared
+  interpreter state; results depend on how many draws other cells made
+  in the same worker process;
+- **constant-seed factories** (``StreamFactory(0)``,
+  ``random.Random(42)``) — every cell sees the *same* stream, silently
+  correlating cells that the statistics assume independent.
+
+Both are located by closing the worker-entry reachability set (from the
+:mod:`~repro.lint.flow.workers` index) over the effect summaries'
+``global-rng`` reads and over constructor calls with literal integer
+seeds.  Seeds threaded through parameters — ``StreamFactory(seed)``,
+``StreamFactory(payload["seed"])`` — are exactly the sanctioned shape
+and contribute nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from ..diagnostics import Diagnostic
+from ..rules import FlowRule, dotted_name, register
+from .callgraph import iter_own_calls
+from .workers import worker_index
+
+#: Seeded-stream factories whose *constant-literal* seeding is banned
+#: on worker paths (constant => identical streams in every cell).
+SEEDED_FACTORIES = frozenset({
+    "repro.sim.rng.StreamFactory",
+    "random.Random",
+    "numpy.random.default_rng",
+    "numpy.random.Generator",
+})
+
+#: ``repro.sim.rng`` is the sanctioned stream-splitting implementation:
+#: its seeded ``SeedSequence``/``Generator`` constructions are the very
+#: mechanism this rule points users at (mirrors the RPL001/RPL002
+#: per-file exemption of the same module).
+EXEMPT_MODULES = frozenset({"repro.sim.rng"})
+
+
+@register
+class WorkerRngSplit(FlowRule):
+    """Worker randomness must be split from the cell seed.
+
+    Reports global-RNG reads and constant-literal-seeded RNG factories
+    in any function reachable from a worker entry.
+    """
+
+    id = "RPL110"
+    title = "worker randomness not derived from the per-cell seed"
+    hint = (
+        "derive streams from the cell's seed — StreamFactory(seed)"
+        ".stream(name) — so cells stay independent and reproducible"
+    )
+
+    def run(self) -> list[Diagnostic]:
+        index = worker_index(self.project)
+        reached = index.reachable()
+        if not reached:
+            return []
+        seen: set[tuple] = set()
+        for qualname in sorted(reached):
+            fn = index.graph.functions.get(qualname)
+            if fn is None or fn.module in EXEMPT_MODULES:
+                continue
+            entry = reached[qualname]
+            summary = index.analysis.summaries[qualname]
+            for read in summary.reads:
+                if read.kind != "global-rng":
+                    continue
+                key = (read.path, read.line, read.col)
+                if key in seen:
+                    continue
+                seen.add(key)
+                self.report(
+                    read.path, read.line, read.col,
+                    f"global-RNG draw ({read.detail}) is reachable from "
+                    f"worker entry {entry} (in {qualname}); draws couple "
+                    f"cells through shared interpreter state",
+                )
+            self._scan_constant_seeds(index, fn, entry, seen)
+        return sorted(self.diagnostics)
+
+    # ------------------------------------------------------------------
+    def _scan_constant_seeds(self, index, fn, entry: str, seen) -> None:
+        module = index.project.modules.get(fn.module)
+        if module is None:
+            return
+        for call in iter_own_calls(fn.node):
+            chain = dotted_name(call.func)
+            if not chain:
+                continue
+            symbol = index.project.resolve_dotted(module, chain)
+            qualified = (
+                symbol.qualname
+                if symbol is not None
+                else index.project.qualify_chain(module, chain)
+            )
+            if qualified not in SEEDED_FACTORIES:
+                continue
+            seed_arg = self._seed_argument(call)
+            if seed_arg is None:
+                continue
+            if isinstance(seed_arg, ast.Constant) and isinstance(
+                seed_arg.value, int
+            ):
+                key = (module.ctx.path, call.lineno, call.col_offset)
+                if key in seen:
+                    continue
+                seen.add(key)
+                self.report(
+                    module.ctx.path, call.lineno, call.col_offset,
+                    f"{qualified}({seed_arg.value!r}) with a constant seed "
+                    f"is reachable from worker entry {entry} "
+                    f"(in {fn.qualname}); every cell would draw the same "
+                    f"stream",
+                )
+
+    @staticmethod
+    def _seed_argument(call: ast.Call) -> ast.expr | None:
+        if call.args:
+            return call.args[0]
+        for keyword in call.keywords:
+            if keyword.arg == "seed":
+                return keyword.value
+        return None

@@ -88,6 +88,7 @@ class Module:
         #: local class name -> ClassInfo (also reachable via symbols).
         self.classes: dict[str, ClassInfo] = {}
         self._index()
+        self._index_local_imports()
 
     def _index(self) -> None:
         for stmt in self.ctx.tree.body:
@@ -149,6 +150,54 @@ class Module:
                     module=self.name,
                     node=stmt.value,
                 )
+
+    def _index_local_imports(self) -> None:
+        """Fold function-local imports into the symbol table.
+
+        Modules break import cycles (and defer heavy dependencies) with
+        imports *inside* function bodies; for whole-program resolution
+        they bind the same names to the same targets as module-level
+        imports, just later.  ``setdefault`` keeps any top-level binding
+        authoritative, so the (rare) shadowing case degrades to the old
+        behaviour rather than misresolving.
+        """
+        for node in ast.walk(self.ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = (
+                        alias.name
+                        if alias.asname
+                        else alias.name.split(".")[0]
+                    )
+                    self.symbols.setdefault(
+                        local,
+                        Symbol(
+                            kind="import",
+                            qualname=f"{self.name}.{local}",
+                            module=self.name,
+                            target=target,
+                        ),
+                    )
+            elif isinstance(node, ast.ImportFrom):
+                base = self._import_base(node)
+                if base is None:
+                    continue
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.symbols.setdefault(
+                        local,
+                        Symbol(
+                            kind="import",
+                            qualname=f"{self.name}.{local}",
+                            module=self.name,
+                            target=(
+                                f"{base}.{alias.name}" if base else alias.name
+                            ),
+                        ),
+                    )
 
     def _import_base(self, stmt: ast.ImportFrom) -> str | None:
         """Absolute dotted module a ``from X import ...`` refers to."""

@@ -1,0 +1,460 @@
+"""Worker-boundary discovery for the concurrency rules (RPL107-RPL110).
+
+A *worker-boundary function* is one whose body executes in a child
+process.  This module finds them from two kinds of positive evidence:
+
+- an explicit ``@worker_entry`` marker
+  (:func:`repro.sweep.api.worker_entry`), for entry points that reach a
+  pool through indirection the call graph cannot follow;
+- a callable handed to a process-pool API the index recognizes:
+  ``multiprocessing.Pool`` methods (``map`` / ``imap`` /
+  ``imap_unordered`` / ``starmap`` / ``apply`` and their ``_async``
+  forms), ``ProcessPoolExecutor.submit``/``map``,
+  ``multiprocessing.Process(target=...)``, and the ``initializer=`` of
+  either pool constructor.  Pool objects are tracked through locals
+  (``pool = ctx.Pool(...)``, ``with Pool(...) as pool:``) and spawn
+  contexts through ``multiprocessing.get_context``.
+
+Alongside the entries themselves, the index builds what the four rules
+share:
+
+- every *submission site* (which callable, which API, which argument
+  expressions cross the process boundary) — RPL108's raw material;
+- the project's module-level **mutable-container globals** (dict/list/
+  set/deque/... bindings at module scope) and ``functools.lru_cache``
+  functions — the parent-process memo state RPL107 polices;
+- the **process-cache registry**: state sanctioned by
+  ``register_process_cache`` — a registered ``F.cache_clear`` exempts
+  function ``F``, a registered ``G.clear`` exempts global ``G``, and a
+  registered *hook function* exempts every module global its body
+  touches (the hook is statically visible evidence that the state is
+  wiped at every worker start).
+
+Everything is positive evidence: a pool held in a container, a callable
+passed through a variable, or a receiver the type inference cannot pin
+contributes nothing.  One index is memoized per project, like
+:func:`~repro.lint.flow.effects.effect_analysis`.
+"""
+
+from __future__ import annotations
+
+import ast
+import weakref
+from dataclasses import dataclass
+
+from ..rules import dotted_name
+from .callgraph import FunctionNode, iter_own_calls
+from .effects import EffectAnalysis, effect_analysis, iter_own_statements
+from .symbols import Module, Project
+
+#: Qualified names of the worker-entry marker (direct and re-exported).
+WORKER_ENTRY_MARKERS = frozenset({
+    "repro.sweep.api.worker_entry",
+    "repro.sweep.worker_entry",
+})
+
+#: Qualified names of the cache-registration hook.
+CACHE_REGISTRARS = frozenset({
+    "repro.sweep.api.register_process_cache",
+    "repro.sweep.register_process_cache",
+})
+
+#: ``multiprocessing.Pool``-style constructors.
+POOL_CTORS = frozenset({
+    "multiprocessing.Pool",
+    "multiprocessing.pool.Pool",
+})
+
+#: ``concurrent.futures`` process-pool constructors.
+FUTURES_CTORS = frozenset({
+    "concurrent.futures.ProcessPoolExecutor",
+    "concurrent.futures.process.ProcessPoolExecutor",
+})
+
+#: ``multiprocessing.Process``-style constructors (callable in ``target=``).
+PROCESS_CTORS = frozenset({
+    "multiprocessing.Process",
+    "multiprocessing.process.Process",
+})
+
+#: ``multiprocessing.get_context`` — its result builds pools/processes too.
+CONTEXT_FACTORIES = frozenset({"multiprocessing.get_context"})
+
+#: Pool methods whose first positional argument runs in a worker.
+POOL_METHODS = frozenset({
+    "map", "imap", "imap_unordered", "starmap",
+    "map_async", "starmap_async", "apply", "apply_async",
+})
+
+#: Executor methods whose first positional argument runs in a worker.
+FUTURES_METHODS = frozenset({"submit", "map"})
+
+#: Module-global container constructors whose instances are mutable.
+MUTABLE_CONTAINER_CTORS = frozenset({
+    "dict", "list", "set",
+    "defaultdict", "deque", "Counter", "OrderedDict",
+    "WeakSet", "WeakKeyDictionary", "WeakValueDictionary",
+})
+
+#: Memoizing decorators whose cache lives in parent-process memory.
+MEMO_DECORATORS = frozenset({
+    "functools.lru_cache",
+    "functools.cache",
+})
+
+
+@dataclass(frozen=True)
+class SubmissionSite:
+    """One place a callable (plus arguments) crosses a process boundary."""
+
+    caller: str      #: qualname of the function containing the call
+    module: str
+    path: str
+    line: int
+    col: int
+    api: str         #: e.g. ``multiprocessing.Pool.imap_unordered``
+    #: Resolved qualname of the submitted callable (None if unresolved).
+    target: str | None
+    #: ``function`` / ``local-function`` / ``lambda`` / ``unresolved``.
+    target_kind: str
+    #: The full call node (rules inspect boundary-crossing arguments).
+    call: ast.Call
+
+
+@dataclass(frozen=True)
+class GlobalBinding:
+    """A module-level mutable-container global."""
+
+    qualname: str
+    path: str
+    line: int
+
+
+class WorkerIndex:
+    """Worker entries, submission sites, and process-state inventories."""
+
+    def __init__(self, project: Project) -> None:
+        self.project = project
+        self.analysis: EffectAnalysis = effect_analysis(project)
+        self.graph = self.analysis.graph
+        #: worker-entry qualname -> human-readable evidence.
+        self.entries: dict[str, str] = {}
+        self.submissions: list[SubmissionSite] = []
+        #: qualname -> binding, for module-level mutable containers.
+        self.mutable_globals: dict[str, GlobalBinding] = {}
+        #: qualnames of functools-memoized project functions.
+        self.memo_functions: set[str] = set()
+        #: functions sanctioned via a registered ``cache_clear``.
+        self.exempt_functions: set[str] = set()
+        #: globals sanctioned via ``.clear`` registration or hook bodies.
+        self.exempt_globals: set[str] = set()
+
+        for module in project.modules.values():
+            self._index_module_globals(module)
+        self._index_functions()
+        self._index_registrations()
+
+    # ------------------------------------------------------------------
+    # Module-level state
+    # ------------------------------------------------------------------
+    def _index_module_globals(self, module: Module) -> None:
+        for stmt in module.ctx.tree.body:
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target, value = stmt.targets[0], stmt.value
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                target, value = stmt.target, stmt.value
+            else:
+                continue
+            if not isinstance(target, ast.Name):
+                continue
+            if self._is_mutable_container(value):
+                qualname = f"{module.name}.{target.id}"
+                self.mutable_globals[qualname] = GlobalBinding(
+                    qualname=qualname,
+                    path=module.ctx.path,
+                    line=stmt.lineno,
+                )
+
+    @staticmethod
+    def _is_mutable_container(value: ast.expr) -> bool:
+        if isinstance(
+            value,
+            (ast.Dict, ast.List, ast.Set, ast.DictComp, ast.ListComp,
+             ast.SetComp),
+        ):
+            return True
+        if isinstance(value, ast.Call):
+            chain = dotted_name(value.func)
+            return bool(chain) and chain[-1] in MUTABLE_CONTAINER_CTORS
+        return False
+
+    # ------------------------------------------------------------------
+    # Worker entries and submission sites
+    # ------------------------------------------------------------------
+    def _index_functions(self) -> None:
+        for qualname, fn in self.graph.functions.items():
+            if any(d in WORKER_ENTRY_MARKERS for d in fn.decorators):
+                self.entries.setdefault(qualname, "marked @worker_entry")
+            if any(d in MEMO_DECORATORS for d in fn.decorators):
+                self.memo_functions.add(qualname)
+            self._scan_submissions(fn)
+
+    def _scan_submissions(self, fn: FunctionNode) -> None:
+        module = self.project.modules.get(fn.module)
+        if module is None:
+            return
+        pools, contexts = self._executor_locals(module, fn)
+        for call in iter_own_calls(fn.node):
+            ctor = self._ctor_kind(module, call, contexts)
+            if ctor is not None:
+                self._note_initializer(module, fn, call, ctor)
+                if ctor in ("process",):
+                    self._note_target(module, fn, call, ctor)
+                continue
+            chain = dotted_name(call.func)
+            if len(chain) < 2:
+                continue
+            receiver, method = ".".join(chain[:-1]), chain[-1]
+            kinds = pools.get(receiver, frozenset())
+            if "pool" in kinds and method in POOL_METHODS:
+                self._note_submission(
+                    module, fn, call, f"multiprocessing.Pool.{method}",
+                    call.args[0] if call.args else None,
+                )
+            elif "futures" in kinds and method in FUTURES_METHODS:
+                self._note_submission(
+                    module, fn, call, f"ProcessPoolExecutor.{method}",
+                    call.args[0] if call.args else None,
+                )
+
+    def _executor_locals(
+        self, module: Module, fn: FunctionNode
+    ) -> tuple[dict[str, set[str]], set[str]]:
+        """Locals bound to pools (name -> kinds) and to spawn contexts.
+
+        The scan is flow-insensitive, so a local rebound across branches
+        (``as pool`` under both executors) accumulates *every* kind it
+        ever held rather than keeping only the last binding.
+        """
+        contexts: set[str] = set()
+        pools: dict[str, set[str]] = {}
+
+        def note_binding(name: str, value: ast.expr) -> None:
+            if not isinstance(value, ast.Call):
+                return
+            chain = dotted_name(value.func)
+            if not chain:
+                return
+            qualified = self.project.qualify_chain(module, chain)
+            if qualified in CONTEXT_FACTORIES:
+                contexts.add(name)
+                return
+            kind = self._ctor_kind(module, value, contexts)
+            if kind in ("pool", "futures"):
+                pools.setdefault(name, set()).add(kind)
+
+        for stmt in iter_own_statements(fn.node.body):
+            if (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+            ):
+                note_binding(stmt.targets[0].id, stmt.value)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                for item in stmt.items:
+                    if isinstance(item.optional_vars, ast.Name):
+                        note_binding(item.optional_vars.id, item.context_expr)
+        return pools, contexts
+
+    def _ctor_kind(
+        self, module: Module, call: ast.Call, contexts: set[str]
+    ) -> str | None:
+        """``pool`` / ``futures`` / ``process`` when ``call`` builds one."""
+        chain = dotted_name(call.func)
+        if not chain:
+            return None
+        qualified = self.project.qualify_chain(module, chain)
+        if qualified in POOL_CTORS:
+            return "pool"
+        if qualified in FUTURES_CTORS:
+            return "futures"
+        if qualified in PROCESS_CTORS:
+            return "process"
+        # ctx.Pool(...) / ctx.Process(...) on a tracked get_context local.
+        if len(chain) == 2 and chain[0] in contexts:
+            if chain[1] == "Pool":
+                return "pool"
+            if chain[1] == "Process":
+                return "process"
+        return None
+
+    def _note_initializer(
+        self, module: Module, fn: FunctionNode, call: ast.Call, ctor: str
+    ) -> None:
+        for keyword in call.keywords:
+            if keyword.arg == "initializer":
+                api = {
+                    "pool": "multiprocessing.Pool(initializer=)",
+                    "futures": "ProcessPoolExecutor(initializer=)",
+                    "process": "multiprocessing.Process(initializer=)",
+                }[ctor]
+                self._note_submission(module, fn, call, api, keyword.value)
+
+    def _note_target(
+        self, module: Module, fn: FunctionNode, call: ast.Call, ctor: str
+    ) -> None:
+        for keyword in call.keywords:
+            if keyword.arg == "target":
+                self._note_submission(
+                    module, fn, call,
+                    "multiprocessing.Process(target=)", keyword.value,
+                )
+
+    def _note_submission(
+        self,
+        module: Module,
+        fn: FunctionNode,
+        call: ast.Call,
+        api: str,
+        target_expr: ast.expr | None,
+    ) -> None:
+        target, kind = self._resolve_target(module, fn, target_expr)
+        site = SubmissionSite(
+            caller=fn.qualname,
+            module=fn.module,
+            path=module.ctx.path,
+            line=call.lineno,
+            col=call.col_offset,
+            api=api,
+            target=target,
+            target_kind=kind,
+            call=call,
+        )
+        self.submissions.append(site)
+        if target is not None and kind in ("function", "local-function"):
+            self.entries.setdefault(
+                target, f"passed to {api} in {fn.qualname}"
+            )
+
+    def _resolve_target(
+        self,
+        module: Module,
+        fn: FunctionNode,
+        expr: ast.expr | None,
+    ) -> tuple[str | None, str]:
+        if expr is None:
+            return None, "unresolved"
+        if isinstance(expr, ast.Lambda):
+            return None, "lambda"
+        chain = dotted_name(expr)
+        if not chain:
+            return None, "unresolved"
+        # A nested function defined in this very caller.
+        if len(chain) == 1:
+            nested = f"{fn.qualname}.<locals>.{chain[0]}"
+            if nested in self.graph.functions:
+                return nested, "local-function"
+        symbol = self.project.resolve_dotted(module, chain)
+        if symbol is not None and symbol.kind == "function":
+            return symbol.qualname, "function"
+        return None, "unresolved"
+
+    # ------------------------------------------------------------------
+    # The process-cache registry
+    # ------------------------------------------------------------------
+    def _index_registrations(self) -> None:
+        hooks: set[str] = set()
+        for module in self.project.modules.values():
+            for node in ast.walk(module.ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                chain = dotted_name(node.func)
+                if not chain:
+                    continue
+                qualified = self.project.qualify_chain(module, chain)
+                symbol = self.project.resolve_dotted(module, chain)
+                name = symbol.qualname if symbol is not None else qualified
+                if name not in CACHE_REGISTRARS:
+                    continue
+                if len(node.args) == 1:
+                    hook = self._classify_registration(module, node.args[0])
+                    if hook is not None:
+                        hooks.add(hook)
+        # @register_process_cache used as a decorator marks the function
+        # itself as a hook.
+        for qualname, fn in self.graph.functions.items():
+            if any(d in CACHE_REGISTRARS for d in fn.decorators):
+                hooks.add(qualname)
+        for hook in hooks:
+            self._exempt_hook_state(hook)
+
+    def _classify_registration(
+        self, module: Module, arg: ast.expr
+    ) -> str | None:
+        """Apply one registration arg; returns a hook qualname if any.
+
+        ``F.cache_clear`` exempts memo function ``F``; ``G.clear``
+        exempts global ``G``; a bare function reference is a hook whose
+        body's globals are exempted by the caller.
+        """
+        chain = dotted_name(arg)
+        if not chain:
+            return None
+        if len(chain) >= 2 and chain[-1] == "cache_clear":
+            symbol = self.project.resolve_dotted(module, chain[:-1])
+            if symbol is not None and symbol.kind == "function":
+                self.exempt_functions.add(symbol.qualname)
+            return None
+        if len(chain) >= 2 and chain[-1] == "clear":
+            symbol = self.project.resolve_dotted(module, chain[:-1])
+            if symbol is not None and symbol.kind == "value":
+                self.exempt_globals.add(symbol.qualname)
+            return None
+        symbol = self.project.resolve_dotted(module, chain)
+        if symbol is not None and symbol.kind == "function":
+            return symbol.qualname
+        return None
+
+    def _exempt_hook_state(self, hook: str) -> None:
+        """Exempt every module global a registered hook's body touches."""
+        fn = self.graph.functions.get(hook)
+        if fn is None:
+            return
+        module = self.project.modules.get(fn.module)
+        if module is None:
+            return
+        for node in ast.walk(fn.node):
+            chain = dotted_name(node) if isinstance(
+                node, (ast.Name, ast.Attribute)
+            ) else ()
+            if not chain:
+                continue
+            for end in range(1, len(chain) + 1):
+                symbol = self.project.resolve_dotted(module, chain[:end])
+                if symbol is not None and symbol.kind == "value":
+                    self.exempt_globals.add(symbol.qualname)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def reachable(self) -> dict[str, str]:
+        """Function qualname -> the worker entry that reaches it."""
+        out: dict[str, str] = {}
+        for entry in sorted(self.entries):
+            for qualname in self.graph.reachable_from({entry}):
+                out.setdefault(qualname, entry)
+        return out
+
+
+_INDICES: "weakref.WeakKeyDictionary[Project, WorkerIndex]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def worker_index(project: Project) -> WorkerIndex:
+    """The (memoized) worker-boundary index for ``project``."""
+    index = _INDICES.get(project)
+    if index is None:
+        index = WorkerIndex(project)
+        _INDICES[project] = index
+    return index

@@ -26,6 +26,14 @@ Interprocedural (flow) rules — see :mod:`repro.lint.flow`:
 - ``RPL104`` — ambient state read reachable from a seeded entry point
 - ``RPL105`` — telemetry pair split by an exception path
 - ``RPL106`` — protected state written before a reachable raise
+
+Concurrency-safety (flow) rules — the csan layer guarding
+:mod:`repro.sweep` and every future parallel subsystem:
+
+- ``RPL107`` — fork-divergent state reachable from a worker entry
+- ``RPL108`` — unpicklable value crossing a process boundary
+- ``RPL109`` — completion-order-dependent reduce over worker results
+- ``RPL110`` — worker randomness not derived from the per-cell seed
 """
 
 from __future__ import annotations
@@ -162,9 +170,13 @@ def dotted_name(node: ast.AST) -> tuple[str, ...]:
 # safe because everything they need is defined above this line.
 from . import arithmetic, determinism, hygiene, shims  # noqa: E402,F401
 from ..flow import (  # noqa: E402,F401
+    fork_state,
     mutation,
+    pickle_safety,
     purity,
+    reduce_order,
     rng_provenance,
+    rng_split,
     telemetry_gap,
     torn_state,
     units,

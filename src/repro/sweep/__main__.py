@@ -1,0 +1,6 @@
+"""``python -m repro.sweep`` — alias for the ``repro-sweep`` script."""
+
+from .cli import main
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,158 @@
+"""``repro-sweep``: run a (policy x seed) grid from the command line.
+
+Exit codes: 0 — the plan completed (merged output written); 1 — the run
+is still partial (``--max-cells`` stopped early; rerun to resume);
+2 — usage error (bad grid, mismatched output directory, unknown policy).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import Sequence
+
+from .grid import GridSpec, PlanError
+from .orchestrator import EXECUTORS, run_sweep
+from .worker import POLICY_FACTORIES
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sweep",
+        description=(
+            "Sweep a (policy x seed) grid through the queueing simulator, "
+            "sharding cells across an executor; merged output is "
+            "byte-identical regardless of executor kind or worker count."
+        ),
+    )
+    parser.add_argument(
+        "--out",
+        help="output directory (plan.json, shards/, merged.jsonl)",
+    )
+    parser.add_argument(
+        "--policies", default="anu,random",
+        help="comma-separated policy axis (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--seeds", type=int, default=10, metavar="N",
+        help="sweep seeds 0..N-1 (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--filesets", type=int, default=40,
+        help="synthetic file sets per cell (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--requests", type=int, default=400,
+        help="synthetic requests per cell (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--duration", type=float, default=600.0,
+        help="trace duration in seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--alpha", type=float, default=4.0,
+        help="Pareto shape of the file-set popularity skew "
+             "(default: %(default)s)",
+    )
+    parser.add_argument(
+        "--tuning-interval", type=float, default=60.0,
+        help="delegate tuning period in seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--executor", choices=EXECUTORS, default="serial",
+        help="execution backend (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for parallel executors (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="compute at most N outstanding cells, then stop (resumable)",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="tiny per-cell workload (12 file sets, 60 requests, 120 s)",
+    )
+    parser.add_argument(
+        "--list-policies", action="store_true",
+        help="print the policy registry and exit",
+    )
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Entry point for ``repro-sweep``; returns the process exit code."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_policies:
+        for name in sorted(POLICY_FACTORIES):
+            print(name)
+        return 0
+    if args.out is None:
+        parser.error("--out is required (unless --list-policies)")
+
+    policies = [p.strip() for p in args.policies.split(",") if p.strip()]
+    unknown = sorted(set(policies) - set(POLICY_FACTORIES))
+    if not policies or unknown:
+        parser.error(
+            f"unknown policies: {', '.join(unknown)}" if unknown
+            else "--policies needs at least one policy"
+        )
+    if args.seeds < 1:
+        parser.error("--seeds must be >= 1")
+    if args.jobs < 1:
+        parser.error("--jobs must be >= 1")
+
+    base = {
+        "n_filesets": 12 if args.quick else args.filesets,
+        "n_requests": 60 if args.quick else args.requests,
+        "duration": 120.0 if args.quick else args.duration,
+        "alpha": args.alpha,
+        "tuning_interval": 30.0 if args.quick else args.tuning_interval,
+    }
+    spec = GridSpec(
+        axes={"policy": policies}, seeds=list(range(args.seeds)), base=base
+    )
+
+    def progress(done: int, total: int, cell_id: str) -> None:
+        sys.stderr.write(f"\r[{done}/{total}] {cell_id}")
+        if done == total:
+            sys.stderr.write("\n")
+        sys.stderr.flush()
+
+    started = time.perf_counter()
+    try:
+        result = run_sweep(
+            spec.build_plan(),
+            args.out,
+            executor=args.executor,
+            jobs=args.jobs,
+            max_cells=args.max_cells,
+            progress=progress,
+        )
+    except (PlanError, ValueError) as exc:
+        print(f"repro-sweep: error: {exc}", file=sys.stderr)
+        return 2
+    elapsed = time.perf_counter() - started
+
+    done = result.resumed + result.ran
+    print(
+        f"{result.ran} cell(s) ran, {result.resumed} resumed "
+        f"({done}/{result.total}) in {elapsed:.2f}s "
+        f"[{args.executor}, jobs={args.jobs}]"
+    )
+    if result.complete:
+        print(f"merged: {result.outdir / 'merged.jsonl'}")
+        print(f"digest: {result.merged_digest}")
+        return 0
+    print(f"partial: {result.total - done} cell(s) outstanding; rerun to resume")
+    return 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via console script
+    raise SystemExit(main())

@@ -1,0 +1,229 @@
+"""Sweep plans: (seed x parameter-grid) cells with stable identities.
+
+A sweep is described by a :class:`GridSpec` — named parameter axes, a
+seed list, and shared base parameters.  :meth:`GridSpec.build_plan`
+expands the cross product into :class:`Cell` objects, each carrying a
+*content-derived* ``cell_id``: the truncated SHA-256 of the cell's
+canonical JSON ``{"params": ..., "seed": ...}``.  Because the id depends
+only on what the cell computes — never on its position in the grid — a
+plan is invariant under axis reordering, value reordering, or splitting
+one sweep into several, and a partially completed run can always be
+resumed against a freshly built plan.
+
+The plan's canonical cell order is ``cell_id`` order, and every
+downstream artifact (shard assignment, merged JSONL, the plan digest) is
+derived from ids, so no completion order, executor kind, or worker count
+can leak into the output bytes.
+
+Parameter values are restricted to JSON scalars (str/int/float/bool/
+None): anything richer would need a canonical serialization of its own
+and would not survive the process boundary as-is.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Iterator, Mapping, Sequence
+
+__all__ = ["Cell", "GridSpec", "SweepPlan", "cell_id_for"]
+
+#: Length of the hex cell id (64 bits of the SHA-256 digest).
+CELL_ID_HEX = 16
+
+#: Schema version stamped into ``plan.json``.
+PLAN_SCHEMA = 1
+
+_SCALARS = (str, int, float, bool, type(None))
+
+
+class PlanError(ValueError):
+    """Raised on malformed grids or mismatched plan files."""
+
+
+def _check_scalar(name: str, value: Any) -> None:
+    if not isinstance(value, _SCALARS):
+        raise PlanError(
+            f"parameter {name!r} has non-scalar value {value!r}; sweep "
+            f"parameters must be JSON scalars"
+        )
+
+
+def cell_id_for(seed: int, params: Mapping[str, Any]) -> str:
+    """Stable content hash identifying one (seed, params) cell."""
+    canon = json.dumps(
+        {"params": dict(sorted(params.items())), "seed": seed},
+        sort_keys=True,
+    )
+    return hashlib.sha256(canon.encode("utf-8")).hexdigest()[:CELL_ID_HEX]
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One unit of sweep work: a parameter assignment plus a seed."""
+
+    cell_id: str
+    seed: int
+    #: Sorted ``(name, value)`` pairs — hashable, order-canonical.
+    params: tuple
+
+    def __post_init__(self) -> None:
+        if list(self.params) != sorted(self.params, key=lambda kv: kv[0]):
+            raise PlanError("cell params must be sorted by name")
+        expected = cell_id_for(self.seed, dict(self.params))
+        if self.cell_id != expected:
+            raise PlanError(
+                f"cell id {self.cell_id!r} does not match the cell's "
+                f"content (expected {expected!r})"
+            )
+
+    @property
+    def params_dict(self) -> dict:
+        return dict(self.params)
+
+    def payload(self) -> dict:
+        """The cell as a plain dict (what crosses the process boundary)."""
+        return {
+            "cell": self.cell_id,
+            "seed": self.seed,
+            "params": self.params_dict,
+        }
+
+    @staticmethod
+    def build(seed: int, params: Mapping[str, Any]) -> "Cell":
+        for name, value in params.items():
+            _check_scalar(name, value)
+        return Cell(
+            cell_id=cell_id_for(seed, params),
+            seed=seed,
+            params=tuple(sorted(params.items())),
+        )
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """Axes x seeds, expanded by :meth:`build_plan` into a canonical plan."""
+
+    #: Parameter name -> candidate values (the cross product is swept).
+    axes: Mapping[str, Sequence[Any]]
+    #: Seeds; every parameter combination runs once per seed.
+    seeds: Sequence[int]
+    #: Parameters shared by every cell (axes override on name clash).
+    base: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.seeds:
+            raise PlanError("a sweep needs at least one seed")
+        if len(set(self.seeds)) != len(list(self.seeds)):
+            raise PlanError(f"duplicate seeds in {list(self.seeds)!r}")
+        for name, values in self.axes.items():
+            if not values:
+                raise PlanError(f"axis {name!r} has no values")
+            for value in values:
+                _check_scalar(name, value)
+        for name, value in self.base.items():
+            _check_scalar(name, value)
+
+    def _combinations(self) -> Iterator[dict]:
+        names = sorted(self.axes)
+        combo: dict = dict(self.base)
+
+        def expand(i: int) -> Iterator[dict]:
+            if i == len(names):
+                yield dict(combo)
+                return
+            for value in self.axes[names[i]]:
+                combo[names[i]] = value
+                yield from expand(i + 1)
+
+        yield from expand(0)
+
+    def build_plan(self, n_shards: int = 8) -> "SweepPlan":
+        """Expand to a :class:`SweepPlan`; cells sorted by ``cell_id``."""
+        cells: dict[str, Cell] = {}
+        for params in self._combinations():
+            for seed in self.seeds:
+                cell = Cell.build(seed, params)
+                if cell.cell_id in cells:
+                    raise PlanError(
+                        f"duplicate cell {cell.cell_id} (seed {seed}, "
+                        f"params {params!r})"
+                    )
+                cells[cell.cell_id] = cell
+        return SweepPlan(
+            cells=tuple(cells[c] for c in sorted(cells)), n_shards=n_shards
+        )
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """An expanded sweep: cells in canonical (cell-id) order."""
+
+    cells: tuple
+    #: Shard-file count; fixed per plan so shard assignment is stable
+    #: across resumes regardless of executor kind or worker count.
+    n_shards: int = 8
+
+    def __post_init__(self) -> None:
+        if not self.cells:
+            raise PlanError("a plan needs at least one cell")
+        if self.n_shards < 1:
+            raise PlanError(f"n_shards must be >= 1, got {self.n_shards}")
+        ids = [c.cell_id for c in self.cells]
+        if ids != sorted(ids):
+            raise PlanError("plan cells must be in cell-id order")
+        if len(set(ids)) != len(ids):
+            raise PlanError("plan contains duplicate cell ids")
+
+    def __len__(self) -> int:
+        return len(self.cells)
+
+    def shard_of(self, cell_id: str) -> int:
+        """Stable shard index for a cell (id-derived, order-free)."""
+        return int(cell_id[:8], 16) % self.n_shards
+
+    def digest(self) -> str:
+        """Content hash of the whole plan (guards mixed-plan resumes)."""
+        payload = json.dumps(
+            {
+                "cells": [c.payload() for c in self.cells],
+                "n_shards": self.n_shards,
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+    # ------------------------------------------------------------------
+    def to_json(self) -> str:
+        """Canonical ``plan.json`` body (byte-stable across rebuilds)."""
+        return json.dumps(
+            {
+                "schema_version": PLAN_SCHEMA,
+                "n_shards": self.n_shards,
+                "digest": self.digest(),
+                "cells": [c.payload() for c in self.cells],
+            },
+            sort_keys=True,
+            indent=None,
+        )
+
+    @staticmethod
+    def from_json(text: str) -> "SweepPlan":
+        try:
+            data = json.loads(text)
+        except ValueError as exc:
+            raise PlanError(f"unreadable plan file: {exc}") from None
+        if data.get("schema_version") != PLAN_SCHEMA:
+            raise PlanError(
+                f"plan schema {data.get('schema_version')!r} is not "
+                f"{PLAN_SCHEMA}"
+            )
+        cells = tuple(
+            Cell.build(entry["seed"], entry["params"])
+            for entry in data["cells"]
+        )
+        plan = SweepPlan(cells=cells, n_shards=data["n_shards"])
+        if plan.digest() != data.get("digest"):
+            raise PlanError("plan digest mismatch: file was edited or corrupt")
+        return plan

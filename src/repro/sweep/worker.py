@@ -1,0 +1,135 @@
+"""The spawn-safe per-cell worker: one cell in, one plain-dict row out.
+
+:func:`run_cell` is the sweep's worker boundary.  Its contract with the
+concurrency sanitizer (RPL107-RPL110):
+
+- the payload and the returned row are dicts of JSON scalars — nothing
+  carrying an engine back-reference, open handle, or live sink crosses
+  the process boundary (RPL108);
+- every run draws randomness only from the cell's own seed, threaded
+  through :class:`~repro.runtime.scenario.Scenario` into the simulator's
+  named ``StreamFactory`` streams — never from process-global RNG state
+  (RPL110);
+- the row carries the cell's full :class:`DigestSink` chain head, so the
+  orchestrator can prove that merged output is independent of which
+  process computed the cell and when (RPL109's merge is keyed by cell
+  id, never by completion order);
+- :func:`pool_initializer` clears every registered process cache before
+  a worker computes anything, so no parent-process memo state can leak
+  into a child (RPL107).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Mapping
+
+from ..cluster.cluster import RunResult, paper_servers
+from ..placement.anu_policy import ANUPolicy
+from ..placement.base import PlacementPolicy
+from ..placement.consistent_hash import ConsistentHashPolicy
+from ..placement.prescient import PrescientPolicy
+from ..placement.round_robin import RoundRobinPolicy
+from ..placement.simple_random import SimpleRandomPolicy
+from ..placement.two_choice import TwoChoicePolicy
+from ..runtime.scenario import Scenario
+from ..runtime.telemetry import DigestSink
+from ..workloads.synthetic import SyntheticConfig, generate_synthetic
+from .api import clear_process_caches, worker_entry
+
+__all__ = ["POLICY_FACTORIES", "pool_initializer", "run_cell"]
+
+#: Policy-zoo registry: sweep axis value -> fresh-policy factory.
+POLICY_FACTORIES: dict[str, Callable[[], PlacementPolicy]] = {
+    "anu": ANUPolicy,
+    "random": SimpleRandomPolicy,
+    "round-robin": RoundRobinPolicy,
+    "two-choice": TwoChoicePolicy,
+    "prescient": PrescientPolicy,
+    "consistent-hash": ConsistentHashPolicy,
+}
+
+
+def pool_initializer() -> None:
+    """Run in every worker process before it computes its first cell."""
+    clear_process_caches()
+
+
+def _scenario_for(seed: int, params: Mapping[str, object]) -> Scenario:
+    """Build the cell's scenario from its (seed, params) description.
+
+    Everything is derived from the payload: the trace from the cell
+    seed, the policy fresh from its registered factory.  Unknown
+    parameter names are rejected so a typo in a grid axis fails the
+    whole sweep loudly instead of silently running defaults.
+    """
+    known = {
+        "policy",
+        "n_filesets",
+        "n_requests",
+        "duration",
+        "alpha",
+        "tuning_interval",
+    }
+    unknown = sorted(set(params) - known)
+    if unknown:
+        raise ValueError(f"unknown sweep parameter(s): {', '.join(unknown)}")
+    policy_name = str(params.get("policy", "anu"))
+    try:
+        factory = POLICY_FACTORIES[policy_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown policy {policy_name!r}; known: "
+            f"{', '.join(sorted(POLICY_FACTORIES))}"
+        ) from None
+    trace = generate_synthetic(
+        SyntheticConfig(
+            n_filesets=int(params.get("n_filesets", 40)),
+            n_requests=int(params.get("n_requests", 400)),
+            duration=float(params.get("duration", 600.0)),
+            alpha=float(params.get("alpha", 4.0)),
+            seed=seed,
+        )
+    )
+    return Scenario(
+        servers=paper_servers(),
+        trace=trace,
+        policy=factory,
+        tuning_interval=float(params.get("tuning_interval", 60.0)),
+        seed=seed,
+    )
+
+
+def _summarize(result: RunResult) -> dict:
+    """The scalar result surface that lands in the merged JSONL."""
+    return {
+        "policy": result.policy_name,
+        "completed": result.completed,
+        "total_requests": result.total_requests,
+        "mean_latency": result.mean_latency,
+        "utilization": result.utilization,
+        "moves_completed": result.moves_completed,
+        "retries": result.retries,
+        "tuning_rounds": result.tuning_rounds,
+    }
+
+
+@worker_entry
+def run_cell(payload: dict) -> dict:
+    """Run one sweep cell; both ``payload`` and the row are plain dicts.
+
+    ``payload`` is :meth:`repro.sweep.grid.Cell.payload`.  The returned
+    row is a pure function of it: the same payload produces the same row
+    bytes in any process, under any executor, in any order.
+    """
+    seed = int(payload["seed"])
+    params = dict(payload["params"])
+    sink = DigestSink()
+    result = _scenario_for(seed, params).run_cluster(telemetry=sink)
+    return {
+        "cell": payload["cell"],
+        "seed": seed,
+        "params": params,
+        "summary": _summarize(result),
+        "events": len(sink.chain),
+        "digest": sink.chain[-1] if sink.chain else "",
+    }

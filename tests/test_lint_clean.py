@@ -17,9 +17,11 @@ tests      RPL001/RPL002 (tests seed ad-hoc generators on purpose),
 benchmarks same as tests — harness code, not simulation code
 ========== =========================================================
 
-The whole-program rules (RPL101-106) run wherever package files are in
-the lint set and are never excluded by tree: they analyze ``src/repro``
-itself, so the tree containing the *entry path* is irrelevant.
+The whole-program rules (RPL101-110, including the concurrency-safety
+layer RPL107-110 that guards ``repro.sweep`` and the parallel linter
+itself) run wherever package files are in the lint set and are never
+excluded by tree: they analyze ``src/repro`` itself, so the tree
+containing the *entry path* is irrelevant.
 """
 
 import pathlib

@@ -1,0 +1,345 @@
+"""The concurrency-safety (csan) rules, RPL107–RPL110.
+
+Bad-fixture projects through :func:`repro.lint.lint_project`, each with
+a clean twin proving the rule converges to zero on correct code, plus
+suppression handling.  The fixtures mirror the hazards the sweep engine
+is built to avoid: parent-process memo state read from workers
+(RPL107), live objects pickled across the boundary (RPL108), merges
+that bake in completion order (RPL109), and worker randomness not split
+from the cell seed (RPL110).
+"""
+
+from repro.lint import lint_project
+from repro.lint.flow.fork_state import ForkDivergentState
+from repro.lint.flow.pickle_safety import PickleSafety
+from repro.lint.flow.reduce_order import OrderDependentReduce
+from repro.lint.flow.rng_split import WorkerRngSplit
+
+
+def ids(findings):
+    return [f.rule_id for f in findings]
+
+
+# ----------------------------------------------------------------------
+# RPL107 — fork-divergent state reachable from a worker entry
+# ----------------------------------------------------------------------
+def test_rpl107_flags_memo_state_reachable_from_worker_entry():
+    findings = lint_project({
+        "src/repro/sweep/fixture.py": (
+            "import functools\n"
+            "from .api import worker_entry\n"
+            "_MEMO = {}\n"
+            "@worker_entry\n"
+            "def run_cell(payload):\n"
+            "    _MEMO[payload['cell']] = payload\n"
+            "    return expensive(payload['seed'])\n"
+            "@functools.lru_cache(maxsize=None)\n"
+            "def expensive(seed):\n"
+            "    return seed * 2\n"
+        ),
+    }, rules=[ForkDivergentState])
+    assert ids(findings) == ["RPL107"] * 2
+    messages = " | ".join(f.message for f in findings)
+    assert "_MEMO" in messages
+    assert "expensive" in messages
+
+
+def test_rpl107_clean_when_state_is_registered_for_clearing():
+    findings = lint_project({
+        "src/repro/sweep/fixture.py": (
+            "import functools\n"
+            "from .api import register_process_cache, worker_entry\n"
+            "_MEMO = {}\n"
+            "register_process_cache(_MEMO.clear)\n"
+            "@worker_entry\n"
+            "def run_cell(payload):\n"
+            "    _MEMO[payload['cell']] = payload\n"
+            "    return expensive(payload['seed'])\n"
+            "@functools.lru_cache(maxsize=None)\n"
+            "def expensive(seed):\n"
+            "    return seed * 2\n"
+            "register_process_cache(expensive.cache_clear)\n"
+        ),
+    }, rules=[ForkDivergentState])
+    assert findings == []
+
+
+def test_rpl107_ignores_state_no_worker_reaches():
+    findings = lint_project({
+        "src/repro/sweep/fixture.py": (
+            # Same memo pattern, but nothing marks or submits a worker.
+            "import functools\n"
+            "_MEMO = {}\n"
+            "def run_cell(payload):\n"
+            "    _MEMO[payload['cell']] = payload\n"
+            "    return expensive(payload['seed'])\n"
+            "@functools.lru_cache(maxsize=None)\n"
+            "def expensive(seed):\n"
+            "    return seed * 2\n"
+        ),
+    }, rules=[ForkDivergentState])
+    assert findings == []
+
+
+def test_rpl107_suppression_comment_silences_the_finding():
+    findings = lint_project({
+        "src/repro/sweep/fixture.py": (
+            "from .api import worker_entry\n"
+            "_MEMO = {}\n"
+            "@worker_entry\n"
+            "def run_cell(payload):\n"
+            "    _MEMO[payload['cell']] = payload"
+            "  # repro-lint: disable=RPL107\n"
+            "    return payload['seed']\n"
+        ),
+    }, rules=[ForkDivergentState])
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL108 — unpicklable values crossing the process boundary
+# ----------------------------------------------------------------------
+def test_rpl108_flags_lambda_and_live_object_submissions():
+    findings = lint_project({
+        "src/repro/sim/engine.py": (
+            "class Engine:\n"
+            "    def __init__(self):\n"
+            "        self.now = 0.0\n"
+        ),
+        "src/repro/sweep/fixture.py": (
+            "import multiprocessing\n"
+            "from ..sim.engine import Engine\n"
+            "def launch(items):\n"
+            "    engine = Engine()\n"
+            "    with multiprocessing.Pool(2) as pool:\n"
+            "        pool.apply(step, engine)\n"
+            "        return pool.map(lambda item: item, items)\n"
+            "def step(engine):\n"
+            "    return engine\n"
+        ),
+    }, rules=[PickleSafety])
+    assert "RPL108" in ids(findings)
+    messages = " | ".join(f.message for f in findings)
+    assert "lambda" in messages
+    assert "Engine" in messages
+
+
+def test_rpl108_flags_worker_entry_returning_live_state():
+    findings = lint_project({
+        "src/repro/sim/engine.py": (
+            "class Engine:\n"
+            "    def __init__(self):\n"
+            "        self.now = 0.0\n"
+        ),
+        "src/repro/sweep/fixture.py": (
+            "from ..sim.engine import Engine\n"
+            "from .api import worker_entry\n"
+            "@worker_entry\n"
+            "def run_cell(payload):\n"
+            "    engine = Engine()\n"
+            "    return engine\n"
+        ),
+    }, rules=[PickleSafety])
+    assert ids(findings) == ["RPL108"]
+    assert "Engine" in findings[0].message
+
+
+def test_rpl108_clean_when_workers_exchange_plain_payloads():
+    findings = lint_project({
+        "src/repro/sweep/fixture.py": (
+            "import multiprocessing\n"
+            "from .api import worker_entry\n"
+            "@worker_entry\n"
+            "def run_cell(payload):\n"
+            "    return {'cell': payload['cell'], 'value': 1}\n"
+            "def launch(items):\n"
+            "    with multiprocessing.Pool(2) as pool:\n"
+            "        return pool.map(run_cell, items)\n"
+        ),
+    }, rules=[PickleSafety])
+    assert findings == []
+
+
+def test_rpl108_suppression_comment_silences_the_finding():
+    findings = lint_project({
+        "src/repro/sweep/fixture.py": (
+            "import multiprocessing\n"
+            "def launch(items):\n"
+            "    with multiprocessing.Pool(2) as pool:\n"
+            "        return pool.map(lambda item: item, items)"
+            "  # repro-lint: disable=RPL108\n"
+        ),
+    }, rules=[PickleSafety])
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL109 — completion-order-dependent reduce over worker results
+# ----------------------------------------------------------------------
+def test_rpl109_flags_positional_append_over_imap_unordered():
+    findings = lint_project({
+        "src/repro/sweep/fixture.py": (
+            "import multiprocessing\n"
+            "def merge(payloads):\n"
+            "    results = []\n"
+            "    total = 0.0\n"
+            "    with multiprocessing.Pool() as pool:\n"
+            "        for row in pool.imap_unordered(work, payloads):\n"
+            "            results.append(row)\n"
+            "            total += row['latency']\n"
+            "    return results, total\n"
+            "def work(payload):\n"
+            "    return payload\n"
+        ),
+    }, rules=[OrderDependentReduce])
+    assert ids(findings) == ["RPL109"] * 2
+    messages = " | ".join(f.message for f in findings)
+    assert "results.append" in messages
+    assert "completion order" in messages
+
+
+def test_rpl109_flags_append_over_as_completed():
+    findings = lint_project({
+        "src/repro/sweep/fixture.py": (
+            "from concurrent.futures import ProcessPoolExecutor, as_completed\n"
+            "def merge(payloads):\n"
+            "    rows = []\n"
+            "    with ProcessPoolExecutor() as pool:\n"
+            "        futures = [pool.submit(work, p) for p in payloads]\n"
+            "        for future in as_completed(futures):\n"
+            "            rows.append(future.result())\n"
+            "    return rows\n"
+            "def work(payload):\n"
+            "    return payload\n"
+        ),
+    }, rules=[OrderDependentReduce])
+    assert ids(findings) == ["RPL109"]
+
+
+def test_rpl109_clean_for_keyed_sorted_and_counted_merges():
+    findings = lint_project({
+        "src/repro/sweep/fixture.py": (
+            "import multiprocessing\n"
+            "def merge(payloads):\n"
+            "    rows = {}\n"
+            "    done = 0\n"
+            "    ordered = []\n"
+            "    with multiprocessing.Pool() as pool:\n"
+            "        for row in pool.imap_unordered(work, payloads):\n"
+            "            rows[row['cell']] = row\n"     # keyed store
+            "            done += 1\n"                   # integer counter
+            "            ordered.append(row['cell'])\n"  # sorted below
+            "    ordered.sort()\n"
+            "    return rows, done, ordered\n"
+            "def work(payload):\n"
+            "    return payload\n"
+        ),
+    }, rules=[OrderDependentReduce])
+    assert findings == []
+
+
+def test_rpl109_ignores_order_preserving_imap():
+    findings = lint_project({
+        "src/repro/sweep/fixture.py": (
+            "import multiprocessing\n"
+            "def merge(payloads):\n"
+            "    results = []\n"
+            "    with multiprocessing.Pool() as pool:\n"
+            "        for row in pool.imap(work, payloads):\n"
+            "            results.append(row)\n"
+            "    return results\n"
+            "def work(payload):\n"
+            "    return payload\n"
+        ),
+    }, rules=[OrderDependentReduce])
+    assert findings == []
+
+
+def test_rpl109_suppression_comment_silences_the_finding():
+    findings = lint_project({
+        "src/repro/sweep/fixture.py": (
+            "import multiprocessing\n"
+            "def merge(payloads):\n"
+            "    results = []\n"
+            "    with multiprocessing.Pool() as pool:\n"
+            "        for row in pool.imap_unordered(work, payloads):\n"
+            "            results.append(row)"
+            "  # repro-lint: disable=RPL109\n"
+            "    return results\n"
+            "def work(payload):\n"
+            "    return payload\n"
+        ),
+    }, rules=[OrderDependentReduce])
+    assert findings == []
+
+
+# ----------------------------------------------------------------------
+# RPL110 — worker randomness not derived from the per-cell seed
+# ----------------------------------------------------------------------
+def test_rpl110_flags_global_rng_and_constant_seeds_on_worker_paths():
+    findings = lint_project({
+        "src/repro/sim/rng.py": (
+            "class StreamFactory:\n"
+            "    def __init__(self, seed):\n"
+            "        self.seed = seed\n"
+        ),
+        "src/repro/sweep/fixture.py": (
+            "import random\n"
+            "from ..sim.rng import StreamFactory\n"
+            "from .api import worker_entry\n"
+            "@worker_entry\n"
+            "def run_cell(payload):\n"
+            "    jitter = random.random()\n"
+            "    streams = StreamFactory(0)\n"
+            "    return jitter + streams.seed\n"
+        ),
+    }, rules=[WorkerRngSplit])
+    assert ids(findings) == ["RPL110"] * 2
+    messages = " | ".join(f.message for f in findings)
+    assert "global-RNG draw" in messages
+    assert "constant seed" in messages
+
+
+def test_rpl110_clean_when_streams_come_from_the_cell_seed():
+    findings = lint_project({
+        "src/repro/sim/rng.py": (
+            "class StreamFactory:\n"
+            "    def __init__(self, seed):\n"
+            "        self.seed = seed\n"
+        ),
+        "src/repro/sweep/fixture.py": (
+            "from ..sim.rng import StreamFactory\n"
+            "from .api import worker_entry\n"
+            "@worker_entry\n"
+            "def run_cell(payload):\n"
+            "    streams = StreamFactory(payload['seed'])\n"
+            "    return streams.seed\n"
+        ),
+    }, rules=[WorkerRngSplit])
+    assert findings == []
+
+
+def test_rpl110_ignores_randomness_outside_worker_paths():
+    findings = lint_project({
+        "src/repro/sweep/fixture.py": (
+            # A global draw, but no worker entry anywhere in the project.
+            "import random\n"
+            "def shuffle_for_display(rows):\n"
+            "    return sorted(rows, key=lambda _: random.random())\n"
+        ),
+    }, rules=[WorkerRngSplit])
+    assert findings == []
+
+
+def test_rpl110_suppression_comment_silences_the_finding():
+    findings = lint_project({
+        "src/repro/sweep/fixture.py": (
+            "import random\n"
+            "from .api import worker_entry\n"
+            "@worker_entry\n"
+            "def run_cell(payload):\n"
+            "    return random.random()"
+            "  # repro-lint: disable=RPL110\n"
+        ),
+    }, rules=[WorkerRngSplit])
+    assert findings == []
