@@ -107,6 +107,46 @@ def test_injector_generation_throughput(benchmark):
     assert events > 50
 
 
+def test_degraded_event_application_cost(benchmark):
+    """Gray-failure hot path: DEGRADE/RESTORE through roster + director.
+
+    Degrade/restore events skip re-placement entirely (set_speed only),
+    so applying a long limp-heavy schedule must stay cheap — this case
+    gates the short-circuit path against the committed baseline.
+    """
+    rng = StreamFactory(13).stream("bench-degrade")
+    servers = [f"s{i:02d}" for i in range(16)]
+    n = 2_000 if quick_mode() else 10_000
+    events = []
+    time = 0.0
+    limping = set()
+    while len(events) < n:
+        time += float(rng.uniform(0.1, 2.0))
+        if limping and (len(limping) > 8 or rng.random() < 0.5):
+            victim = sorted(limping)[int(rng.integers(len(limping)))]
+            limping.discard(victim)
+            events.append(FaultEvent(Seconds(time), FaultKind.RESTORE, victim))
+        else:
+            healthy = [s for s in servers if s not in limping]
+            victim = healthy[int(rng.integers(len(healthy)))]
+            limping.add(victim)
+            events.append(
+                FaultEvent(
+                    Seconds(time), FaultKind.DEGRADE, victim,
+                    factor=float(rng.uniform(0.1, 0.9)),
+                )
+            )
+
+    def replay():
+        roster = MembershipRoster(servers)
+        for event in events:
+            apply_event(roster, event)
+        return len(roster.degraded())
+
+    degraded = benchmark(replay)
+    assert 0 <= degraded <= len(servers)
+
+
 def test_churn_heavy_cluster_run(benchmark):
     """End-to-end queueing run under continuous membership churn."""
     from repro.cluster import ClusterConfig, ClusterSimulation, paper_servers

@@ -336,7 +336,12 @@ class ClusterSimulation:
             assignment=self.planned_assignment(),
             reports=self.collector.reports(live, now - interval, now),
             previous_reports=previous_reports,
-            server_speeds={n: self.servers[n].speed for n in live},
+            # Nominal spec speeds, deliberately NOT effective speeds: a
+            # gray failure is invisible to the policies — speed-aware
+            # ones (prescient, two-choice) keep planning with the
+            # registered capacity, and only observed latency can betray
+            # a limping server.
+            server_speeds={n: self.servers[n].base_speed for n in live},
             oracle_demand=self.trace.demand_by_fileset(
                 now, now + (self.config.oracle_horizon or interval)
             ),
@@ -442,6 +447,12 @@ class ClusterSimulation:
         self.servers[spec.name] = MetadataServer(self.engine, spec)
         self.collector.ensure_server(spec.name)
         self.completed.setdefault(spec.name, 0)
+
+    def set_speed(self, server: str, factor: float, now: Seconds) -> None:
+        """Gray failure: ``server`` serves new work at ``factor`` of its
+        spec speed (1.0 restores it).  No routing state changes — the
+        limp is observable only through rising latencies."""
+        self.servers[server].set_degradation(factor)
 
     def delegate_failover(self, now: Seconds) -> None:
         """The tuning delegate fails over: history dies with it (the

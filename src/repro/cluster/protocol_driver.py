@@ -215,6 +215,17 @@ class ProtocolDrivenCluster:
             node.start()
         elif kind is FaultKind.DELEGATE_CRASH:
             self._crash_current_delegate()
+        elif kind in (FaultKind.DEGRADE, FaultKind.RESTORE):
+            # Gray failures change service times on the queueing side
+            # (the simulation's own director realizes them via
+            # set_speed); protocol nodes model no service speed, and the
+            # limp must not perturb elections or heartbeats — mirror the
+            # factor onto the node for observability and nothing else.
+            node = self.nodes.get(event.server)
+            if node is not None:
+                node.speed = (
+                    event.factor if kind is FaultKind.DEGRADE else 1.0
+                )
 
     # ------------------------------------------------------------------
     def run(self) -> ProtocolRunResult:

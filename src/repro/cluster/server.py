@@ -37,6 +37,9 @@ class MetadataServer:
         self.spec = spec
         self.facility = Facility(engine, name=spec.name)
         self.alive = True
+        #: Gray-failure multiplier in (0, 1] over the frozen spec speed;
+        #: 1.0 means healthy.  Mutated only via :meth:`set_degradation`.
+        self.degradation = 1.0
         #: Requests dispatched here and not yet completed (for failure
         #: re-dispatch).
         self.outstanding: dict[int, MetadataRequest] = {}
@@ -46,8 +49,27 @@ class MetadataServer:
         return self.spec.name
 
     @property
-    def speed(self) -> float:
+    def base_speed(self) -> float:
+        """The nominal (spec) speed, ignoring any gray failure."""
         return self.spec.speed
+
+    @property
+    def speed(self) -> float:
+        """Effective speed: spec speed × current degradation."""
+        return self.spec.speed * self.degradation
+
+    def set_degradation(self, factor: float) -> None:
+        """Limp at ``factor`` of spec speed (1.0 restores full speed).
+
+        Applies to service times computed from now on; work already in
+        the facility keeps the duration it was enqueued with, modelling a
+        disk slowdown that hits new I/Os.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise ValueError(
+                f"degradation factor must be in (0, 1], got {factor!r}"
+            )
+        self.degradation = factor
 
     def service_time(self, request: MetadataRequest, multiplier: float = 1.0) -> float:
         """Seconds this server needs to serve ``request``."""
@@ -95,10 +117,13 @@ class MetadataServer:
 
     def recover(self) -> None:
         """Come back up with an empty queue (cache cold; the placement layer
-        charges cold-cache penalties per gained file set)."""
+        charges cold-cache penalties per gained file set).  A reboot also
+        cures any limp: degradation resets to 1.0, mirroring
+        :meth:`repro.membership.lifecycle.MembershipRoster.recover`."""
         if self.alive:
             raise RuntimeError(f"server {self.name!r} already alive")
         self.alive = True
+        self.degradation = 1.0
         self.facility.resume_service()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -114,13 +114,19 @@ def system_average(
     """
     active = [r for r in reports if r.request_count > 0]
     if not active:
-        return 0.0
+        return Seconds(0.0)
     if method == "median":
-        return float(statistics.median(r.mean_latency for r in active))
+        return Seconds(
+            float(statistics.median(r.mean_latency for r in active))
+        )
     if method == "mean":
-        return float(statistics.fmean(r.mean_latency for r in active))
+        return Seconds(
+            float(statistics.fmean(r.mean_latency for r in active))
+        )
     total = sum(r.request_count for r in active)
-    return sum(r.mean_latency * r.request_count for r in active) / total
+    return Seconds(
+        sum(r.mean_latency * r.request_count for r in active) / total
+    )
 
 
 def comparison_average(
@@ -166,6 +172,13 @@ class DelegateTuner:
                 f"reports for {sorted(by_name)} do not match shares for "
                 f"{sorted(current_shares)}"
             )
+        # An all-idle window carries no latency information at all: make
+        # the round an explicit no-op rather than falling through to
+        # compare every latency against a zero-width [0, 0] band.
+        if all(r.request_count == 0 for r in reports):
+            return TuningDecision(
+                average=Seconds(0.0), new_shares=dict(current_shares)
+            )
         avg = system_average(reports, cfg.average)
         total = float(sum(current_shares.values()))
         n = len(current_shares)
@@ -194,7 +207,7 @@ class DelegateTuner:
             if direction == 0:
                 new_shares[name] = share
                 continue
-            factor = self._factor(latency, ref)
+            factor = self._factor(latency, ref, report.request_count)
             if direction > 0:  # grow
                 base = max(share, fair * cfg.grow_seed_fraction)
                 new_shares[name] = base * factor
@@ -264,10 +277,20 @@ class DelegateTuner:
                     return 0
         return direction
 
-    def _factor(self, latency: float, avg: float) -> float:
-        """Multiplicative share change, clamped to [1/max_step, max_step]."""
+    def _factor(
+        self, latency: float, avg: float, request_count: int
+    ) -> float:
+        """Multiplicative share change, clamped to [1/max_step, max_step].
+
+        A zero latency earns the max boost only when it was *observed* —
+        backed by at least one served request.  A server that reports
+        zero latency because it served nothing (a degraded server whose
+        share the tuner already shrank to idle, for example) gets a
+        neutral factor; rewarding it with ``max_step`` would yo-yo a
+        limping server straight back into the rotation.
+        """
         cfg = self.config
         if latency <= 0.0:
-            return cfg.max_step
+            return cfg.max_step if request_count > 0 else 1.0
         raw = avg / latency
         return min(max(raw, 1.0 / cfg.max_step), cfg.max_step)

@@ -334,6 +334,15 @@ class MetadataCluster:
         self.services[server] = MetadataService(server, self.disk)
         self.placement.add_server(server)
 
+    def set_speed(self, server: str, factor: float, now: Seconds) -> None:
+        """Gray failure: pure bookkeeping here.  This harness models no
+        timing, so a limp changes nothing the semantic layer can see —
+        the roster carries the authoritative degradation, and the
+        consistency check below asserts the service set still matches
+        the (unchanged) live set."""
+        if server not in self.services:
+            raise FSError(f"set_speed for unknown service {server!r}")
+
     def delegate_failover(self, now: Seconds) -> None:
         """Tuning here is delegate-less (callers invoke :meth:`retune`
         directly), so a delegate crash only clears report history."""

@@ -22,7 +22,14 @@ system, message protocol):
 
 from .director import MembershipChange, MembershipDirector, MembershipHost
 from .faults import FaultEvent, FaultKind, FaultSchedule, apply_event
-from .injector import CRASH_ONLY, FULL_CHURN, ChaosProfile, FaultInjector
+from .injector import (
+    CRASH_ONLY,
+    FULL_CHURN,
+    LIMP_CHURN,
+    LIMP_ONLY,
+    ChaosProfile,
+    FaultInjector,
+)
 from .lifecycle import (
     LifecycleError,
     MemberRecord,
@@ -46,4 +53,6 @@ __all__ = [
     "FaultInjector",
     "CRASH_ONLY",
     "FULL_CHURN",
+    "LIMP_ONLY",
+    "LIMP_CHURN",
 ]

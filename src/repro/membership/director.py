@@ -30,6 +30,14 @@ plane.  :class:`MembershipDirector` owns that logic once:
 
 Hosts only implement primitives; ordering, legality, classification, and
 telemetry are identical across all three stacks by construction.
+
+Gray failures (``DEGRADE``/``RESTORE``) take a deliberately shorter path:
+legality through the roster, a :class:`FaultInjected` +
+:class:`~repro.runtime.telemetry.SpeedChanged` pair, and the
+:meth:`MembershipHost.set_speed` primitive — **no** re-placement, **no**
+history reset, **no** ``MembershipChanged``.  A limping server is
+indistinguishable from a healthy one to every detector in the system;
+only the tuner's observed latencies can reveal it.
 """
 
 from __future__ import annotations
@@ -42,6 +50,7 @@ from ..runtime.telemetry import (
     NULL_SINK,
     FaultInjected,
     MembershipChanged,
+    SpeedChanged,
     TelemetrySink,
 )
 from ..units import Seconds
@@ -73,6 +82,13 @@ class MembershipHost(Protocol):
 
     def install_server(self, server: str, speed: float, now: Seconds) -> None:
         """Register a newly commissioned server."""
+
+    def set_speed(self, server: str, factor: float, now: Seconds) -> None:
+        """Realize a gray failure: scale ``server``'s effective speed to
+        ``factor`` × its base speed (``factor == 1.0`` restores it).
+        Unlike the five lifecycle primitives this triggers no
+        re-placement — a limping server keeps its share until the tuner
+        routes around it."""
 
     def delegate_failover(self, now: Seconds) -> str | None:
         """Fail the tuning delegate over; returns the name of a server
@@ -173,12 +189,42 @@ class MembershipDirector:
             self.roster.recover(event.server)
         elif kind is FaultKind.COMMISSION:
             self.roster.commission(event.server, event.speed)
+        elif kind is FaultKind.DEGRADE:
+            self.roster.degrade(event.server, event.factor)
+        elif kind is FaultKind.RESTORE:
+            self.roster.restore(event.server)
         else:  # pragma: no cover - enum is closed
             raise AssertionError(f"unhandled fault kind {kind!r}")
         if sink.enabled:
             sink.emit(
                 FaultInjected(time=now, fault=kind.value, server=event.server)
             )
+        # Gray failures never reshape membership: the server stays live
+        # with its mapped share, no re-placement runs, no delegate
+        # history is reset — the *whole point* is that the system gets no
+        # out-of-band signal and must route around the limp via observed
+        # latency.  Only the effective speed (and a SpeedChanged record)
+        # move.
+        if kind in (FaultKind.DEGRADE, FaultKind.RESTORE):
+            factor = event.factor if kind is FaultKind.DEGRADE else 1.0
+            self.host.set_speed(event.server, factor, now)
+            if sink.enabled:
+                sink.emit(
+                    SpeedChanged(
+                        time=now,
+                        server=event.server,
+                        factor=factor,
+                        effective_speed=self.roster.effective_speed(
+                            event.server
+                        ),
+                    )
+                )
+            change = MembershipChange(
+                event=event, live=tuple(self.roster.live()), diff=None,
+                orphaned=0, rebalanced=0,
+            )
+            self.applied.append(event)
+            return change
         # Realization: drive the host and re-place load now that the
         # event is known legal and announced.
         orphans: Any = None

@@ -23,6 +23,14 @@ loses its last live server.  Two semantics worth spelling out:
 - **delegate crashes need a successor** — a ``DELEGATE_CRASH`` event is
   only valid while at least two servers are live, since fail-over must
   have a surviving server to elect.
+
+Beyond fail-stop, the vocabulary also speaks **gray failures** (ROADMAP
+item 4): ``DEGRADE`` limps an ``UP`` server to ``factor`` of its speed
+without tripping any liveness detector, and ``RESTORE`` lifts the limp.
+Degradation is orthogonal to the lifecycle — a degraded server stays
+live, keeps its mapped share, and remains a legal delegate; only its
+effective speed changes.  A schedule with no ``DEGRADE`` events behaves
+bit-for-bit as before.
 """
 
 from __future__ import annotations
@@ -45,6 +53,8 @@ class FaultKind(enum.Enum):
     COMMISSION = "commission"      # a brand-new server joins
     DECOMMISSION = "decommission"  # graceful removal (queue drains first)
     DELEGATE_CRASH = "delegate-crash"  # the tuning delegate fails over
+    DEGRADE = "degrade"    # gray failure: limp at `factor` of full speed
+    RESTORE = "restore"    # the limp lifts; effective speed returns to base
 
 
 @dataclass(frozen=True)
@@ -56,12 +66,18 @@ class FaultEvent:
     server: str
     #: Speed for COMMISSION events (ignored otherwise).
     speed: float = 1.0
+    #: Speed multiplier for DEGRADE events, in (0, 1] (ignored otherwise).
+    factor: float = 1.0
 
     def __post_init__(self) -> None:
         if self.time < 0:
             raise ValueError(f"negative event time {self.time!r}")
         if self.kind is FaultKind.COMMISSION and self.speed <= 0:
             raise ValueError(f"commissioned server needs positive speed")
+        if self.kind is FaultKind.DEGRADE and not 0.0 < self.factor <= 1.0:
+            raise ValueError(
+                f"degradation factor must be in (0, 1], got {self.factor!r}"
+            )
 
 
 def _sort_key(event: FaultEvent) -> tuple[Seconds, str]:
@@ -94,6 +110,10 @@ def apply_event(roster: MembershipRoster, event: FaultEvent) -> None:
         roster.commission(event.server, event.speed)
     elif kind is FaultKind.DECOMMISSION:
         roster.decommission(event.server)
+    elif kind is FaultKind.DEGRADE:
+        roster.degrade(event.server, event.factor)
+    elif kind is FaultKind.RESTORE:
+        roster.restore(event.server)
     else:  # pragma: no cover - enum is closed
         raise AssertionError(f"unhandled fault kind {kind!r}")
     if roster.live_count == 0:
@@ -141,6 +161,19 @@ class FaultSchedule:
     def delegate_crash(self, time: Seconds) -> "FaultSchedule":
         """Schedule a tuning-delegate fail-over at ``time``."""
         return self.add(FaultEvent(time, FaultKind.DELEGATE_CRASH, server="*"))
+
+    def degrade(
+        self, time: Seconds, server: str, factor: float
+    ) -> "FaultSchedule":
+        """Schedule a gray failure: ``server`` limps at ``factor`` of its
+        speed from ``time`` until a later ``restore`` (or forever)."""
+        return self.add(
+            FaultEvent(time, FaultKind.DEGRADE, server, factor=factor)
+        )
+
+    def restore(self, time: Seconds, server: str) -> "FaultSchedule":
+        """Schedule the limp on ``server`` to lift at ``time``."""
+        return self.add(FaultEvent(time, FaultKind.RESTORE, server))
 
     def __iter__(self):
         return iter(self.events)

@@ -47,7 +47,14 @@ from ..units import Seconds
 from .faults import FaultEvent, FaultKind, FaultSchedule, apply_event
 from .lifecycle import MembershipRoster, ServerState
 
-__all__ = ["ChaosProfile", "FaultInjector"]
+__all__ = [
+    "ChaosProfile",
+    "FaultInjector",
+    "CRASH_ONLY",
+    "FULL_CHURN",
+    "LIMP_ONLY",
+    "LIMP_CHURN",
+]
 
 
 @dataclass(frozen=True)
@@ -71,15 +78,42 @@ class ChaosProfile:
     min_live: int = 2
     #: Cap on brand-new servers the injector may invent.
     max_commissions: int = 8
+    # -- gray failures (limp profiles) ---------------------------------
+    #: Per-server exponential mean time to degradation onset while up and
+    #: healthy (the limp-detection literature's MTTD); None disables
+    #: gray failures entirely, reproducing the fail-stop-only schedules
+    #: bit for bit.
+    degrade_mttd: Seconds | None = None
+    #: Exponential mean duration of a sustained limp before it lifts.
+    degrade_mttrestore: Seconds = Seconds(120.0)
+    #: Degradation factor of a fresh limp, drawn uniformly from
+    #: [low, high) — both strictly inside (0, 1) so every DEGRADE is a
+    #: real slowdown with a legal later RESTORE.
+    degrade_factor: tuple[float, float] = (0.1, 0.5)
+    #: Probability a limp is a slow-then-dead ramp (factor halves each
+    #: step until the server finally crashes) instead of sustained.
+    slow_then_dead: float = 0.0
+    #: Worsening steps in a slow-then-dead ramp before the crash.
+    ramp_steps: int = 3
+    #: Exponential mean between ramp steps.
+    ramp_step_every: Seconds = Seconds(30.0)
+    #: I/O-contention coupling: probability that a fresh limp also
+    #: degrades each other healthy sharer of the shared disk.
+    couple_probability: float = 0.0
+    #: Fraction of the primary's slowdown passed to coupled sharers
+    #: (their factor is ``1 - (1 - primary_factor) * couple_strength``).
+    couple_strength: float = 0.5
 
     def __post_init__(self) -> None:
         for name in ("mttf", "decommission_every", "commission_every",
-                     "delegate_crash_every"):
+                     "delegate_crash_every", "degrade_mttd"):
             value = getattr(self, name)
             if value is not None and value <= 0:
                 raise ValueError(f"{name} must be positive, got {value!r}")
-        if self.mttr <= 0:
-            raise ValueError(f"mttr must be positive, got {self.mttr!r}")
+        for name in ("mttr", "degrade_mttrestore", "ramp_step_every"):
+            value = getattr(self, name)
+            if value <= 0:
+                raise ValueError(f"{name} must be positive, got {value!r}")
         if self.min_live < 1:
             raise ValueError(f"min_live must be >= 1, got {self.min_live!r}")
         if self.max_commissions < 0:
@@ -89,6 +123,25 @@ class ChaosProfile:
             raise ValueError(
                 f"need 0 < low <= high commission speed, got "
                 f"{self.commission_speed!r}"
+            )
+        low, high = self.degrade_factor
+        if not 0.0 < low <= high < 1.0:
+            raise ValueError(
+                f"need 0 < low <= high < 1 degrade factor, got "
+                f"{self.degrade_factor!r}"
+            )
+        for name in ("slow_then_dead", "couple_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+        if not 0.0 < self.couple_strength <= 1.0:
+            raise ValueError(
+                f"couple_strength must be in (0, 1], got "
+                f"{self.couple_strength!r}"
+            )
+        if self.ramp_steps < 1:
+            raise ValueError(
+                f"ramp_steps must be >= 1, got {self.ramp_steps!r}"
             )
 
 
@@ -104,12 +157,38 @@ FULL_CHURN = ChaosProfile(
     delegate_crash_every=Seconds(500.0),
 )
 
+#: Pure gray failures: no crashes, only sustained limps on a stable fleet.
+LIMP_ONLY = ChaosProfile(
+    mttf=None,
+    degrade_mttd=Seconds(150.0),
+    degrade_mttrestore=Seconds(90.0),
+    degrade_factor=(0.1, 0.5),
+)
+
+#: The full gray-failure zoo layered over crash/repair churn: sustained
+#: limps, slow-then-dead ramps, and I/O-contention coupling.
+LIMP_CHURN = ChaosProfile(
+    mttf=Seconds(400.0),
+    mttr=Seconds(60.0),
+    degrade_mttd=Seconds(180.0),
+    degrade_mttrestore=Seconds(120.0),
+    degrade_factor=(0.15, 0.6),
+    slow_then_dead=0.25,
+    ramp_steps=3,
+    ramp_step_every=Seconds(20.0),
+    couple_probability=0.3,
+    couple_strength=0.5,
+)
+
 
 # Candidate-queue tags; the tuple ordering (time, tag, server) makes the
-# pop order — and therefore the whole schedule — deterministic.
+# pop order — and therefore the whole schedule — deterministic.  The
+# gray-failure tags sort after the fail-stop ones at equal times, so
+# enabling them never reorders a fail-stop candidate.
 _FAIL, _RECOVER, _DECOM, _COMMISSION, _DCRASH = (
     "a-fail", "b-recover", "c-decommission", "d-commission", "e-dcrash",
 )
+_DEGRADE, _RESTORE, _RAMP = ("f-degrade", "g-restore", "h-ramp")
 
 
 class FaultInjector:
@@ -182,9 +261,20 @@ class FaultInjector:
         churn = self._streams.stream("churn")
         commissioned = 0
 
-        # Candidate heap of (time, tag, server); invalid candidates are
-        # re-drawn or dropped when popped, against the live roster.
-        heap: list[tuple[float, str, str]] = []
+        # Candidate heap of (time, tag, server, limp-generation); invalid
+        # candidates are re-drawn or dropped when popped, against the
+        # live roster.  ``gen`` is 0 for every fail-stop tag; limp tags
+        # carry the per-server limp generation so a crash that cuts a
+        # limp short invalidates that limp's stale ramp/restore entries.
+        heap: list[tuple[float, str, str, int]] = []
+        #: Per-server limp generation (bumped at every onset and at
+        #: every abnormal limp end).
+        limp_gen: dict[str, int] = {}
+        #: Remaining worsening steps of an active slow-then-dead ramp.
+        ramp_left: dict[str, int] = {}
+        #: primary -> sharers currently degraded by I/O-contention
+        #: coupling; released when the primary restores or dies.
+        coupled_to: dict[str, list[str]] = {}
 
         def draw(rng, mean: Seconds) -> Seconds:
             return Seconds(float(rng.exponential(mean)))
@@ -193,54 +283,80 @@ class FaultInjector:
             if profile.mttf is not None:
                 heapq.heappush(
                     heap, (now + draw(server_rng[name], profile.mttf),
-                           _FAIL, name)
+                           _FAIL, name, 0)
                 )
 
         def push_recover(name: str, now: Seconds) -> None:
             heapq.heappush(
                 heap, (now + draw(server_rng[name], profile.mttr),
-                       _RECOVER, name)
+                       _RECOVER, name, 0)
             )
 
         def push_churn(tag: str, mean: Seconds | None, now: Seconds) -> None:
             if mean is not None:
-                heapq.heappush(heap, (now + draw(churn, mean), tag, "*"))
+                heapq.heappush(heap, (now + draw(churn, mean), tag, "*", 0))
+
+        def push_degrade(name: str, now: Seconds) -> None:
+            if profile.degrade_mttd is not None:
+                heapq.heappush(
+                    heap, (now + draw(server_rng[name], profile.degrade_mttd),
+                           _DEGRADE, name, 0)
+                )
+
+        def release_coupled(primary: str, now: Seconds) -> list[FaultEvent]:
+            """The contention source is gone; its sharers' limps lift."""
+            out = []
+            for other in coupled_to.pop(primary, []):
+                if roster.is_live(other) and roster.is_degraded(other):
+                    out.append(FaultEvent(now, FaultKind.RESTORE, other))
+            return out
+
+        def end_limp(name: str, now: Seconds) -> list[FaultEvent]:
+            """A crash/decommission cut ``name``'s limp short: invalidate
+            its pending ramp/restore entries and free its sharers."""
+            limp_gen[name] = limp_gen.get(name, 0) + 1
+            ramp_left.pop(name, None)
+            return release_coupled(name, now)
 
         for name in sorted(self.servers):
             push_fail(name, Seconds(0.0))
+            push_degrade(name, Seconds(0.0))
         push_churn(_DECOM, profile.decommission_every, Seconds(0.0))
         push_churn(_COMMISSION, profile.commission_every, Seconds(0.0))
         push_churn(_DCRASH, profile.delegate_crash_every, Seconds(0.0))
 
         while heap:
-            time, tag, name = heapq.heappop(heap)
+            time, tag, name, gen = heapq.heappop(heap)
             now = Seconds(time)
             if now >= horizon:
                 break
-            event: FaultEvent | None = None
+            out: list[FaultEvent] = []
             if tag == _FAIL:
                 if (
                     roster.is_live(name)
                     and roster.live_count > profile.min_live
                 ):
-                    event = FaultEvent(now, FaultKind.FAIL, name)
+                    out.append(FaultEvent(now, FaultKind.FAIL, name))
+                    out.extend(end_limp(name, now))
                     push_recover(name, now)
                 elif roster.is_live(name):
                     # Too few live servers to lose one; try again later.
                     push_fail(name, now)
             elif tag == _RECOVER:
                 if roster.state_of(name) is ServerState.DOWN:
-                    event = FaultEvent(now, FaultKind.RECOVER, name)
+                    out.append(FaultEvent(now, FaultKind.RECOVER, name))
                     push_fail(name, now)
+                    push_degrade(name, now)
             elif tag == _DECOM:
                 push_churn(_DECOM, profile.decommission_every, now)
-                candidates = [
-                    s for s in roster.live()
-                    if roster.live_count > profile.min_live
-                ]
+                candidates = (
+                    roster.live()
+                    if roster.live_count > profile.min_live else []
+                )
                 if candidates:
                     victim = candidates[int(churn.integers(len(candidates)))]
-                    event = FaultEvent(now, FaultKind.DECOMMISSION, victim)
+                    out.append(FaultEvent(now, FaultKind.DECOMMISSION, victim))
+                    out.extend(end_limp(victim, now))
             elif tag == _COMMISSION:
                 push_churn(_COMMISSION, profile.commission_every, now)
                 drained = [
@@ -251,8 +367,9 @@ class FaultInjector:
                     # Exercise recover-after-decommission: bring a drained
                     # server back instead of inventing a new one.
                     name = drained[int(churn.integers(len(drained)))]
-                    event = FaultEvent(now, FaultKind.RECOVER, name)
+                    out.append(FaultEvent(now, FaultKind.RECOVER, name))
                     push_fail(name, now)
+                    push_degrade(name, now)
                 elif commissioned < profile.max_commissions:
                     low, high = profile.commission_speed
                     speed = float(churn.uniform(low, high))
@@ -261,14 +378,120 @@ class FaultInjector:
                     server_rng[fresh] = self._streams.stream(
                         f"server:{fresh}"
                     )
-                    event = FaultEvent(
-                        now, FaultKind.COMMISSION, fresh, speed=speed
+                    out.append(
+                        FaultEvent(now, FaultKind.COMMISSION, fresh,
+                                   speed=speed)
                     )
                     push_fail(fresh, now)
+                    push_degrade(fresh, now)
             elif tag == _DCRASH:
                 push_churn(_DCRASH, profile.delegate_crash_every, now)
                 if roster.live_count >= 2:
-                    event = FaultEvent(now, FaultKind.DELEGATE_CRASH, "*")
-            if event is not None:
+                    out.append(FaultEvent(now, FaultKind.DELEGATE_CRASH, "*"))
+            elif tag == _DEGRADE:
+                out.extend(self._limp_onset(
+                    roster, server_rng, name, now,
+                    limp_gen, ramp_left, coupled_to, heap, push_degrade,
+                ))
+            elif tag == _RESTORE:
+                if limp_gen.get(name, 0) == gen:
+                    if roster.is_live(name) and roster.is_degraded(name):
+                        out.append(FaultEvent(now, FaultKind.RESTORE, name))
+                    out.extend(release_coupled(name, now))
+                    push_degrade(name, now)
+            elif tag == _RAMP:
+                if limp_gen.get(name, 0) == gen and roster.is_live(name):
+                    steps = ramp_left.get(name, 0)
+                    if steps > 0:
+                        ramp_left[name] = steps - 1
+                        factor = roster.degradation_of(name) * 0.5
+                        out.append(
+                            FaultEvent(now, FaultKind.DEGRADE, name,
+                                       factor=factor)
+                        )
+                        heapq.heappush(
+                            heap,
+                            (now + draw(server_rng[name],
+                                        profile.ramp_step_every),
+                             _RAMP, name, gen),
+                        )
+                    elif roster.live_count > profile.min_live:
+                        # The ramp bottoms out: the limping server dies.
+                        out.append(FaultEvent(now, FaultKind.FAIL, name))
+                        out.extend(end_limp(name, now))
+                        push_recover(name, now)
+                    else:
+                        # Cannot afford to lose a server: the ramp ends
+                        # in a restore instead of the crash.
+                        if roster.is_degraded(name):
+                            out.append(
+                                FaultEvent(now, FaultKind.RESTORE, name)
+                            )
+                        out.extend(end_limp(name, now))
+                        push_degrade(name, now)
+            for event in out:
                 apply_event(roster, event)
                 yield event
+
+    def _limp_onset(
+        self,
+        roster: MembershipRoster,
+        server_rng: dict,
+        name: str,
+        now: Seconds,
+        limp_gen: dict[str, int],
+        ramp_left: dict[str, int],
+        coupled_to: dict[str, list[str]],
+        heap: list,
+        push_degrade: Callable[[str, Seconds], None],
+    ) -> list[FaultEvent]:
+        """Handle a degradation-onset candidate popping for ``name``.
+
+        Draws (factor, ramp-vs-sustained, coupling picks) from the
+        server's own stream, so fail-stop trajectories of other servers
+        are unperturbed.  Returns the DEGRADE events to apply (primary
+        first, coupled sharers in sorted order), having pushed the
+        follow-up ramp/restore candidate.
+        """
+        profile = self.profile
+        if not roster.is_live(name):
+            return []  # dropped; recover/commission restarts the process
+        if roster.is_degraded(name):
+            push_degrade(name, now)  # already limping; try again later
+            return []
+        rng = server_rng[name]
+        low, high = profile.degrade_factor
+        factor = float(rng.uniform(low, high))
+        is_ramp = (
+            profile.slow_then_dead > 0.0
+            and float(rng.random()) < profile.slow_then_dead
+        )
+        gen = limp_gen[name] = limp_gen.get(name, 0) + 1
+        out = [FaultEvent(now, FaultKind.DEGRADE, name, factor=factor)]
+        if is_ramp:
+            ramp_left[name] = profile.ramp_steps
+            heapq.heappush(
+                heap,
+                (now + Seconds(float(rng.exponential(
+                    profile.ramp_step_every))), _RAMP, name, gen),
+            )
+        else:
+            heapq.heappush(
+                heap,
+                (now + Seconds(float(rng.exponential(
+                    profile.degrade_mttrestore))), _RESTORE, name, gen),
+            )
+        if profile.couple_probability > 0.0:
+            # I/O contention on the shared disk: the limping server's
+            # retries slow co-located sharers down too, milder.
+            coupled_factor = 1.0 - (1.0 - factor) * profile.couple_strength
+            for other in roster.live():
+                if other == name or roster.is_degraded(other):
+                    continue
+                if float(rng.random()) < profile.couple_probability:
+                    out.append(
+                        FaultEvent(now, FaultKind.DEGRADE, other,
+                                   factor=coupled_factor)
+                    )
+                    coupled_to.setdefault(name, []).append(other)
+        return out

@@ -29,6 +29,15 @@ Legal transitions (everything else raises :class:`LifecycleError`):
   semantics :meth:`~repro.membership.faults.FaultSchedule.validate` has
   always permitted, now stated by the state machine itself.
 
+Orthogonal to the state machine is the **degradation** dimension (gray
+failures, ROADMAP item 4): an ``UP`` server can limp at a fraction of its
+registered speed without tripping any liveness detector.  ``degrade``
+multiplies nothing into the lifecycle — a degraded server is still live,
+still counted for placement, still a legal delegate — it only lowers
+:meth:`MembershipRoster.effective_speed` (base speed × degradation).
+``restore`` lifts the limp; ``recover`` after a crash also resets
+degradation to 1.0, because a rebooted server comes back at full speed.
+
 A :class:`MembershipRoster` tracks one :class:`ServerState` per server and
 is the single source of truth every harness adapter and the fault-schedule
 validator consult, so an illegal event (double fail, recover of an
@@ -63,6 +72,9 @@ class MemberRecord:
     name: str
     state: ServerState
     speed: float = 1.0
+    #: Gray-failure multiplier in (0, 1]; 1.0 means healthy.  Effective
+    #: speed is ``speed * degradation``.  Reset to 1.0 on ``recover``.
+    degradation: float = 1.0
 
 
 class MembershipRoster:
@@ -108,6 +120,20 @@ class MembershipRoster:
         """Registered speed of ``name`` (raises if unknown)."""
         return self._require(name).speed
 
+    def degradation_of(self, name: str) -> float:
+        """Current gray-failure multiplier of ``name`` (1.0 = healthy)."""
+        return self._require(name).degradation
+
+    def effective_speed(self, name: str) -> float:
+        """Registered speed × degradation for ``name``."""
+        record = self._require(name)
+        return record.speed * record.degradation
+
+    def is_degraded(self, name: str) -> bool:
+        """True when ``name`` is known and limping (degradation < 1)."""
+        record = self._members.get(name)
+        return record is not None and record.degradation < 1.0
+
     def is_live(self, name: str) -> bool:
         """True when ``name`` is known and ``UP``."""
         record = self._members.get(name)
@@ -130,12 +156,27 @@ class MembershipRoster:
         return sorted(self._members)
 
     def speeds(self) -> dict[str, float]:
-        """name -> speed for the live servers."""
+        """name -> registered (nominal) speed for the live servers."""
         return {
             n: r.speed
             for n, r in sorted(self._members.items())
             if r.state is ServerState.UP
         }
+
+    def effective_speeds(self) -> dict[str, float]:
+        """name -> speed × degradation for the live servers."""
+        return {
+            n: r.speed * r.degradation
+            for n, r in sorted(self._members.items())
+            if r.state is ServerState.UP
+        }
+
+    def degraded(self) -> list[str]:
+        """Sorted names of every live server currently limping."""
+        return sorted(
+            n for n, r in self._members.items()
+            if r.state is ServerState.UP and r.degradation < 1.0
+        )
 
     # ------------------------------------------------------------------
     # Transitions
@@ -171,10 +212,55 @@ class MembershipRoster:
 
     def recover(self, name: str) -> MemberRecord:
         """Rejoin: ``DOWN | DRAINING -> UP`` (see module docs on
-        recover-after-decommission)."""
-        return self._transition(
+        recover-after-decommission).  A recovered server comes back at
+        full speed: any degradation it carried when it went down is
+        cleared, matching a reboot curing a limping process."""
+        record = self._transition(
             name, ServerState.UP, ServerState.DOWN, ServerState.DRAINING
         )
+        record.degradation = 1.0
+        return record
+
+    def degrade(self, name: str, factor: float) -> MemberRecord:
+        """Gray failure: an ``UP`` server limps at ``factor`` of its speed.
+
+        ``factor`` must lie in (0, 1]; re-degrading an already-limping
+        server is legal (slow-then-dead ramps step the factor down), but
+        the target must be live — a crashed server cannot limp.
+        """
+        if not 0.0 < factor <= 1.0:
+            raise LifecycleError(
+                f"degradation factor for {name!r} must be in (0, 1], "
+                f"got {factor!r}"
+            )
+        record = self._require(name)
+        if record.state is not ServerState.UP:
+            raise LifecycleError(
+                f"cannot degrade server {name!r} in state "
+                f"{record.state.value}; only UP servers limp"
+            )
+        record.degradation = factor
+        return record
+
+    def restore(self, name: str) -> MemberRecord:
+        """The limp lifts: degradation returns to 1.0.
+
+        The server must be live and actually degraded — restoring a
+        healthy server is a schedule bug the roster rejects, exactly as
+        it rejects recovering an ``UP`` server.
+        """
+        record = self._require(name)
+        if record.state is not ServerState.UP:
+            raise LifecycleError(
+                f"cannot restore server {name!r} in state "
+                f"{record.state.value}; only UP servers are restorable"
+            )
+        if record.degradation >= 1.0:
+            raise LifecycleError(
+                f"restore of server {name!r} which is not degraded"
+            )
+        record.degradation = 1.0
+        return record
 
     # ------------------------------------------------------------------
     def check_invariants(self) -> None:
@@ -187,6 +273,11 @@ class MembershipRoster:
             if record.speed <= 0:
                 raise LifecycleError(
                     f"server {name!r} has non-positive speed {record.speed!r}"
+                )
+            if not 0.0 < record.degradation <= 1.0:
+                raise LifecycleError(
+                    f"server {name!r} has degradation "
+                    f"{record.degradation!r} outside (0, 1]"
                 )
 
     # ------------------------------------------------------------------

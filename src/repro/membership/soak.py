@@ -4,6 +4,11 @@ Run as a module::
 
     PYTHONPATH=src python -m repro.membership.soak --seeds 3 --quick
 
+``--profile limp`` layers the gray-failure zoo (sustained limps,
+slow-then-dead ramps, I/O-contention coupling) over the same churn and
+additionally checks, on every ``SpeedChanged`` record, that the roster's
+degradation and the harness's effective speed stay in lockstep.
+
 For each seed, a :class:`~repro.membership.injector.FaultInjector`
 generates a valid churn schedule, every harness stack replays it, and
 the stack's own invariants are checked *after each membership event*:
@@ -25,13 +30,24 @@ schedule (the injector is deterministic per seed).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 from typing import Sequence
 
 from ..units import Seconds
 from .faults import FaultKind
 from .injector import ChaosProfile, FaultInjector
 
-__all__ = ["SOAK_CHURN", "soak_cluster", "soak_fs", "soak_proto", "run_soak", "main"]
+__all__ = [
+    "SOAK_CHURN",
+    "SOAK_LIMP",
+    "PROTO_CHURN",
+    "PROTO_LIMP",
+    "soak_cluster",
+    "soak_fs",
+    "soak_proto",
+    "run_soak",
+    "main",
+]
 
 #: Full-churn profile used by every soak stack (kept gentle enough that
 #: quick mode finishes in CI time while still exercising each fault kind).
@@ -59,8 +75,34 @@ PROTO_CHURN = ChaosProfile(
     max_commissions=0,
 )
 
+#: :data:`SOAK_CHURN` with the gray-failure zoo switched on: sustained
+#: limps, slow-then-dead ramps, and I/O-contention coupling layered over
+#: the same crash/commission churn (the CI ``limp-smoke`` job's profile).
+SOAK_LIMP = dataclasses.replace(
+    SOAK_CHURN,
+    degrade_mttd=Seconds(200.0),
+    degrade_mttrestore=Seconds(100.0),
+    degrade_factor=(0.15, 0.6),
+    slow_then_dead=0.2,
+    ramp_steps=2,
+    ramp_step_every=Seconds(25.0),
+    couple_probability=0.25,
+    couple_strength=0.5,
+)
 
-def soak_cluster(seed: int, quick: bool = False) -> dict[str, float]:
+#: :data:`PROTO_CHURN` with sustained limps (timescales matched to the
+#: protocol soak's short horizon).
+PROTO_LIMP = dataclasses.replace(
+    PROTO_CHURN,
+    degrade_mttd=Seconds(30.0),
+    degrade_mttrestore=Seconds(15.0),
+    degrade_factor=(0.2, 0.6),
+)
+
+
+def soak_cluster(
+    seed: int, quick: bool = False, limp: bool = False
+) -> dict[str, float]:
     """Chaos-run the queueing stack; returns summary counters."""
     from ..cluster import ClusterConfig, ClusterSimulation, paper_servers
     from ..placement import ANUPolicy
@@ -78,7 +120,8 @@ def soak_cluster(seed: int, quick: bool = False) -> dict[str, float]:
         )
     )
     speeds = {s.name: s.speed for s in paper_servers()}
-    faults = FaultInjector(speeds, SOAK_CHURN, seed=seed).generate(
+    profile = SOAK_LIMP if limp else SOAK_CHURN
+    faults = FaultInjector(speeds, profile, seed=seed).generate(
         Seconds(trace.duration)
     )
     config = ClusterConfig(
@@ -92,6 +135,22 @@ def soak_cluster(seed: int, quick: bool = False) -> dict[str, float]:
 
     def _on_record(record) -> None:
         nonlocal checks
+        if record.kind == "speed":
+            # A gray failure must land on a live server and keep the
+            # roster and the harness's effective speed in lockstep.
+            server = sim.servers[record.server]
+            if not server.alive:
+                raise AssertionError(
+                    f"SpeedChanged for dead server {record.server!r} "
+                    f"(seed {seed})"
+                )
+            if server.degradation != sim.roster.degradation_of(record.server):
+                raise AssertionError(
+                    f"roster/harness degradation disagreement on "
+                    f"{record.server!r} (seed {seed})"
+                )
+            checks += 1
+            return
         if record.kind != "membership":
             return
         sim.check_invariants()
@@ -118,14 +177,17 @@ def soak_cluster(seed: int, quick: bool = False) -> dict[str, float]:
     return {"events": len(faults), "checks": checks, "requests": len(trace)}
 
 
-def soak_fs(seed: int, quick: bool = False) -> dict[str, float]:
+def soak_fs(
+    seed: int, quick: bool = False, limp: bool = False
+) -> dict[str, float]:
     """Chaos-run the semantic stack; returns summary counters."""
     from ..fs import FileSystemClient, MetadataCluster
 
     roots = {f"fs{i}": f"/p{i}" for i in range(4 if quick else 8)}
     servers = {f"server{i}": 1.0 for i in range(4)}
     horizon = Seconds(600.0 if quick else 2400.0)
-    faults = FaultInjector(servers, SOAK_CHURN, seed=seed).generate(horizon)
+    profile = SOAK_LIMP if limp else SOAK_CHURN
+    faults = FaultInjector(servers, profile, seed=seed).generate(horizon)
 
     cluster = MetadataCluster(sorted(servers), roots)
     client = FileSystemClient(cluster, "soak-client")
@@ -140,12 +202,20 @@ def soak_fs(seed: int, quick: bool = False) -> dict[str, float]:
         cluster.director.apply(event, now=event.time)
         cluster.check_consistency()
         cluster.placement.check_invariants()
+        cluster.roster.check_invariants()
+        for name in cluster.roster.degraded():
+            if not cluster.roster.is_live(name):
+                raise AssertionError(
+                    f"degraded server {name!r} is not live (seed {seed})"
+                )
     for path in durable:
         client.stat(path)  # raises if the checkpointed file was lost
     return {"events": len(faults), "checks": len(faults), "files": len(durable)}
 
 
-def soak_proto(seed: int, quick: bool = False) -> dict[str, float]:
+def soak_proto(
+    seed: int, quick: bool = False, limp: bool = False
+) -> dict[str, float]:
     """Chaos-run the protocol stack; returns summary counters."""
     from ..proto import ControlPlane, ProtocolConfig
 
@@ -159,7 +229,8 @@ def soak_proto(seed: int, quick: bool = False) -> dict[str, float]:
     n = 5
     names = {f"node{i:02d}": 1.0 for i in range(n)}
     horizon = Seconds(60.0 if quick else 240.0)
-    faults = FaultInjector(names, PROTO_CHURN, seed=seed).generate(horizon)
+    profile = PROTO_LIMP if limp else PROTO_CHURN
+    faults = FaultInjector(names, profile, seed=seed).generate(horizon)
 
     cp = ControlPlane(n, seed=seed, protocol_config=fast)
     cp.start()
@@ -170,6 +241,12 @@ def soak_proto(seed: int, quick: bool = False) -> dict[str, float]:
             raise AssertionError(
                 f"roster/liveness disagreement after {event} (seed {seed})"
             )
+        for name in cp.roster.live():
+            if cp.nodes[name].speed != cp.roster.degradation_of(name):
+                raise AssertionError(
+                    f"node/roster speed disagreement on {name!r} "
+                    f"after {event} (seed {seed})"
+                )
     end = float(faults.events[-1].time) if len(faults) else 0.0
     cp.run_until(end + 15.0)
     delegate = cp.current_delegate()
@@ -184,14 +261,17 @@ STACKS = {"cluster": soak_cluster, "fs": soak_fs, "proto": soak_proto}
 
 
 def run_soak(
-    seeds: Sequence[int], quick: bool = False, stacks: Sequence[str] | None = None
+    seeds: Sequence[int],
+    quick: bool = False,
+    stacks: Sequence[str] | None = None,
+    limp: bool = False,
 ) -> list[dict]:
     """Soak every requested stack with every seed; returns summaries."""
     results = []
     for name in stacks or sorted(STACKS):
         runner = STACKS[name]
         for seed in seeds:
-            summary = runner(seed, quick=quick)
+            summary = runner(seed, quick=quick, limp=limp)
             summary |= {"stack": name, "seed": seed}
             print(
                 f"[soak] {name:<8} seed={seed:<4} "
@@ -222,9 +302,22 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="append",
         help="restrict to one stack (repeatable; default: all)",
     )
+    parser.add_argument(
+        "--profile",
+        choices=("churn", "limp"),
+        default="churn",
+        help="fault profile: fail-stop churn only, or churn plus the "
+        "gray-failure zoo (sustained limps, slow-then-dead ramps, "
+        "I/O-contention coupling)",
+    )
     args = parser.parse_args(argv)
     seeds = range(args.seed_base, args.seed_base + args.seeds)
-    results = run_soak(list(seeds), quick=args.quick, stacks=args.stack)
+    results = run_soak(
+        list(seeds),
+        quick=args.quick,
+        stacks=args.stack,
+        limp=args.profile == "limp",
+    )
     events = sum(r["events"] for r in results)
     kinds = len(FaultKind)
     print(

@@ -137,6 +137,21 @@ class ControlPlane:
             FaultEvent(Seconds(self.engine.now), FaultKind.DECOMMISSION, name)
         )
 
+    def degrade(self, name: str, factor: float) -> None:
+        """Gray failure: the node limps at ``factor`` of full speed."""
+        self.apply_fault(
+            FaultEvent(
+                Seconds(self.engine.now), FaultKind.DEGRADE, name,
+                factor=factor,
+            )
+        )
+
+    def restore(self, name: str) -> None:
+        """The limp on ``name`` lifts (roster-checked: it must limp)."""
+        self.apply_fault(
+            FaultEvent(Seconds(self.engine.now), FaultKind.RESTORE, name)
+        )
+
     def apply_fault(self, event: FaultEvent) -> None:
         """Apply one membership event through the shared director."""
         self.director.apply(event, now=Seconds(self.engine.now))
@@ -164,6 +179,14 @@ class ControlPlane:
         node = self._make_node(server, priority, shares)
         self.nodes[server] = node
         node.start()
+
+    def set_speed(self, server: str, factor: float, now: Seconds) -> None:
+        """Gray failure: the node keeps electing, heartbeating, and
+        voting at full protocol speed — only its ``speed`` attribute
+        moves, for latency models that couple reports to a limp.  The
+        protocol deliberately cannot tell a limping node from a healthy
+        one; that blindness is the gray-failure premise."""
+        self.nodes[server].speed = factor
 
     def delegate_failover(self, now: Seconds) -> str | None:
         """Kill the agreed delegate node; the bully election heals it.

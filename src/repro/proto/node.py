@@ -107,6 +107,11 @@ class ServerNode:
         self._rounds = DelegateRoundDriver(self.tuner)
 
         self.alive = True
+        #: Effective speed multiplier (gray failures); 1.0 means healthy.
+        #: The protocol itself never reads it — latency models may, to
+        #: couple reported latency to a limp — and :meth:`recover`
+        #: resets it, mirroring the roster's reboot-cures-the-limp rule.
+        self.speed = 1.0
         self.epoch = 0
         self.delegate: str | None = None
         self.shares: dict[str, float] = dict(initial_shares or {})
@@ -172,6 +177,7 @@ class ServerNode:
     def recover(self) -> None:
         """Rejoin: reset volatile protocol state and re-monitor."""
         self.alive = True
+        self.speed = 1.0
         self.network.set_up(self.name)
         self.delegate = None
         self._previous_reports = None

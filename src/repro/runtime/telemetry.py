@@ -43,6 +43,7 @@ __all__ = [
     "FaultInjected",
     "MembershipChanged",
     "DelegateElected",
+    "SpeedChanged",
     "TelemetrySink",
     "NullSink",
     "NULL_SINK",
@@ -180,6 +181,24 @@ class DelegateElected(TelemetryRecord):
     epoch: int
 
 
+@dataclass(frozen=True, slots=True)
+class SpeedChanged(TelemetryRecord):
+    """A server's effective speed changed (gray failure or restore).
+
+    Emitted by the membership director for ``DEGRADE``/``RESTORE`` events
+    *instead of* :class:`MembershipChanged`: a limping server is still
+    live, keeps its mapped share, and triggers no re-placement — the only
+    observable is the speed itself.  ``factor`` is the new degradation
+    multiplier (1.0 on restore); ``effective_speed`` is base × factor.
+    """
+
+    kind: ClassVar[str] = "speed"
+
+    server: str
+    factor: float
+    effective_speed: float
+
+
 _RECORD_TYPES: dict[str, type[TelemetryRecord]] = {
     cls.kind: cls
     for cls in (
@@ -192,6 +211,7 @@ _RECORD_TYPES: dict[str, type[TelemetryRecord]] = {
         FaultInjected,
         MembershipChanged,
         DelegateElected,
+        SpeedChanged,
     )
 }
 

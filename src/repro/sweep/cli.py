@@ -14,7 +14,7 @@ from typing import Sequence
 
 from .grid import GridSpec, PlanError
 from .orchestrator import EXECUTORS, run_sweep
-from .worker import POLICY_FACTORIES
+from .worker import LIMP_SCHEDULES, POLICY_FACTORIES
 
 __all__ = ["main"]
 
@@ -60,6 +60,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--tuning-interval", type=float, default=60.0,
         help="delegate tuning period in seconds (default: %(default)s)",
+    )
+    parser.add_argument(
+        "--limps", default=None,
+        help="comma-separated gray-failure axis (none, sustained, ramp, "
+             "couple); omitted = no limp axis",
     )
     parser.add_argument(
         "--executor", choices=EXECUTORS, default="serial",
@@ -108,6 +113,17 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
+    axes: dict[str, list[str]] = {"policy": policies}
+    if args.limps is not None:
+        limps = [p.strip() for p in args.limps.split(",") if p.strip()]
+        unknown = sorted(set(limps) - set(LIMP_SCHEDULES))
+        if not limps or unknown:
+            parser.error(
+                f"unknown limp profiles: {', '.join(unknown)}" if unknown
+                else "--limps needs at least one profile"
+            )
+        axes["limp"] = limps
+
     base = {
         "n_filesets": 12 if args.quick else args.filesets,
         "n_requests": 60 if args.quick else args.requests,
@@ -116,7 +132,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         "tuning_interval": 30.0 if args.quick else args.tuning_interval,
     }
     spec = GridSpec(
-        axes={"policy": policies}, seeds=list(range(args.seeds)), base=base
+        axes=axes, seeds=list(range(args.seeds)), base=base
     )
 
     def progress(done: int, total: int, cell_id: str) -> None:

@@ -24,6 +24,7 @@ from __future__ import annotations
 from typing import Callable, Mapping
 
 from ..cluster.cluster import RunResult, paper_servers
+from ..membership.faults import FaultSchedule
 from ..placement.anu_policy import ANUPolicy
 from ..placement.base import PlacementPolicy
 from ..placement.consistent_hash import ConsistentHashPolicy
@@ -36,7 +37,12 @@ from ..runtime.telemetry import DigestSink
 from ..workloads.synthetic import SyntheticConfig, generate_synthetic
 from .api import clear_process_caches, worker_entry
 
-__all__ = ["POLICY_FACTORIES", "pool_initializer", "run_cell"]
+__all__ = [
+    "LIMP_SCHEDULES",
+    "POLICY_FACTORIES",
+    "pool_initializer",
+    "run_cell",
+]
 
 #: Policy-zoo registry: sweep axis value -> fresh-policy factory.
 POLICY_FACTORIES: dict[str, Callable[[], PlacementPolicy]] = {
@@ -54,6 +60,53 @@ def pool_initializer() -> None:
     clear_process_caches()
 
 
+def _sustained_limp(duration: float) -> FaultSchedule:
+    """The fastest server limps at 15% speed for the middle half-run."""
+    from ..units import Seconds
+
+    schedule = FaultSchedule()
+    schedule.degrade(Seconds(duration * 0.25), "server4", 0.15)
+    schedule.restore(Seconds(duration * 0.75), "server4")
+    return schedule
+
+
+def _ramp_limp(duration: float) -> FaultSchedule:
+    """Slow-then-dead: the fastest server worsens in steps, then dies."""
+    from ..units import Seconds
+
+    schedule = FaultSchedule()
+    schedule.degrade(Seconds(duration * 0.25), "server4", 0.5)
+    schedule.degrade(Seconds(duration * 0.40), "server4", 0.25)
+    schedule.degrade(Seconds(duration * 0.55), "server4", 0.125)
+    schedule.fail(Seconds(duration * 0.70), "server4")
+    schedule.recover(Seconds(duration * 0.85), "server4")
+    return schedule
+
+
+def _coupled_limp(duration: float) -> FaultSchedule:
+    """I/O contention: the limping server drags a sharer down with it."""
+    from ..units import Seconds
+
+    schedule = FaultSchedule()
+    schedule.degrade(Seconds(duration * 0.25), "server4", 0.2)
+    schedule.degrade(Seconds(duration * 0.25), "server3", 0.6)
+    schedule.restore(Seconds(duration * 0.75), "server3")
+    schedule.restore(Seconds(duration * 0.75), "server4")
+    return schedule
+
+
+#: Limp-axis registry: value -> schedule factory over the trace duration.
+#: Schedules are pure functions of the cell params, preserving the
+#: sweep's byte-identical-merge contract; ``none`` keeps the fault-free
+#: baseline bit-for-bit.
+LIMP_SCHEDULES: dict[str, Callable[[float], FaultSchedule] | None] = {
+    "none": None,
+    "sustained": _sustained_limp,
+    "ramp": _ramp_limp,
+    "couple": _coupled_limp,
+}
+
+
 def _scenario_for(seed: int, params: Mapping[str, object]) -> Scenario:
     """Build the cell's scenario from its (seed, params) description.
 
@@ -69,6 +122,7 @@ def _scenario_for(seed: int, params: Mapping[str, object]) -> Scenario:
         "duration",
         "alpha",
         "tuning_interval",
+        "limp",
     }
     unknown = sorted(set(params) - known)
     if unknown:
@@ -81,20 +135,44 @@ def _scenario_for(seed: int, params: Mapping[str, object]) -> Scenario:
             f"unknown policy {policy_name!r}; known: "
             f"{', '.join(sorted(POLICY_FACTORIES))}"
         ) from None
+    limp_name = str(params.get("limp", "none"))
+    try:
+        limp_factory = LIMP_SCHEDULES[limp_name]
+    except KeyError:
+        raise ValueError(
+            f"unknown limp profile {limp_name!r}; known: "
+            f"{', '.join(sorted(LIMP_SCHEDULES))}"
+        ) from None
+    duration = float(params.get("duration", 600.0))
+    tuning_interval = float(params.get("tuning_interval", 60.0))
     trace = generate_synthetic(
         SyntheticConfig(
             n_filesets=int(params.get("n_filesets", 40)),
             n_requests=int(params.get("n_requests", 400)),
-            duration=float(params.get("duration", 600.0)),
+            duration=duration,
             alpha=float(params.get("alpha", 4.0)),
             seed=seed,
         )
     )
+    if policy_name == "prescient":
+        # The prescient comparator needs its oracle granted up front:
+        # the *nominal* server speeds (perfect static knowledge — gray
+        # failures stay invisible even to the oracle, which is the
+        # point of the limp axis) and the first interval's demand.
+        nominal = {s.name: s.speed for s in paper_servers()}
+        first_demand = trace.demand_by_fileset(0.0, tuning_interval)
+
+        def factory() -> PlacementPolicy:
+            policy = PrescientPolicy()
+            policy.grant_oracle(nominal, first_demand)
+            return policy
+
     return Scenario(
         servers=paper_servers(),
         trace=trace,
         policy=factory,
-        tuning_interval=float(params.get("tuning_interval", 60.0)),
+        faults=limp_factory(duration) if limp_factory is not None else None,
+        tuning_interval=tuning_interval,
         seed=seed,
     )
 

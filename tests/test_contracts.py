@@ -166,7 +166,9 @@ def test_repartition_boundary_preservation_contract_is_wired():
 def test_tuner_factor_clamp_contract(monkeypatch):
     tuner = DelegateTuner()
     monkeypatch.setattr(
-        DelegateTuner, "_factor", lambda self, latency, avg: 1000.0
+        DelegateTuner,
+        "_factor",
+        lambda self, latency, avg, request_count: 1000.0,
     )
     reports = [
         ServerReport("a", 50.0, 100),

@@ -1,0 +1,152 @@
+"""Gray failures end to end: limplock discovery, adapters, telemetry.
+
+The headline acceptance test for the degraded-mode routing work: under a
+seeded limplock schedule, ANU's delegate tuning sheds mapped share from
+the limping server within a handful of tuning rounds — with no
+membership event, no rebalance, and no hint from the placement layer —
+while simple randomization (static hashing) never moves anything.  The
+limp is discovered purely through the latency reports the paper's
+tuning loop already collects.
+"""
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterSimulation, paper_servers
+from repro.fs import FSError, MetadataCluster
+from repro.membership import FaultSchedule
+from repro.placement import ANUPolicy, SimpleRandomPolicy
+from repro.proto import ControlPlane
+from repro.runtime import MemorySink
+from repro.runtime.telemetry import SpeedChanged, record_from_dict
+from repro.units import Seconds
+from repro.workloads import SyntheticConfig, generate_synthetic
+
+LIMP_AT = 400.0
+LIMP_FACTOR = 0.15
+LIMPER = "server4"  # the fastest paper server: the worst-case straggler
+TUNING = 60.0
+
+
+def _limp_schedule() -> FaultSchedule:
+    return FaultSchedule().degrade(Seconds(LIMP_AT), LIMPER, LIMP_FACTOR)
+
+
+def _run(policy):
+    trace = generate_synthetic(
+        SyntheticConfig(n_filesets=30, n_requests=3000, duration=1200.0,
+                        request_cost=0.3, seed=7)
+    )
+    config = ClusterConfig(servers=paper_servers(), tuning_interval=TUNING,
+                           sample_window=TUNING / 2, seed=1)
+    sim = ClusterSimulation(config, policy, trace, _limp_schedule())
+    before = dict(sim.planned_assignment())
+    result = sim.run()
+    return sim, before, result
+
+
+def test_anu_sheds_share_from_limping_server_within_five_rounds():
+    """The acceptance bar from the issue: ANU's mapped share for the
+    degraded server drops below its pre-limp share within 5 tuning
+    rounds of the onset — limplock is *discovered*, not announced."""
+    policy = ANUPolicy()
+    _run(policy)
+    history = policy.share_history
+    pre = [shares for t, shares in history if t <= LIMP_AT]
+    assert pre, "no tuning rounds completed before the limp onset"
+    pre_share = pre[-1][LIMPER]
+    window = [
+        shares[LIMPER]
+        for t, shares in history
+        if LIMP_AT < t <= LIMP_AT + 5 * TUNING
+    ]
+    assert window, "no tuning rounds inside the 5-round window"
+    assert min(window) < pre_share, (
+        f"ANU failed to shed share from {LIMPER}: pre-limp {pre_share:.4f}, "
+        f"window min {min(window):.4f}"
+    )
+    # And the shed persists: the final share stays below the pre-limp one.
+    assert history[-1][1][LIMPER] < pre_share
+
+
+def test_simple_randomization_never_reacts_to_the_limp():
+    """Static hashing has no feedback loop: the limping server keeps its
+    full mapped share for the whole run (the paper's motivating flaw)."""
+    sim, before, result = _run(SimpleRandomPolicy())
+    assert sim.planned_assignment() == before
+    assert sum(result.completed.values()) == 3000
+
+
+# ----------------------------------------------------------------------
+# Stack adapters: the `set_speed` host primitive in each harness
+# ----------------------------------------------------------------------
+def test_cluster_server_effective_speed_and_recover_reset():
+    from repro.cluster.server import MetadataServer, ServerSpec
+    from repro.sim.engine import Engine
+
+    server = MetadataServer(Engine(), ServerSpec("s0", speed=4.0))
+    assert server.speed == 4.0 and server.base_speed == 4.0
+    server.set_degradation(0.25)
+    assert server.speed == pytest.approx(1.0)
+    assert server.base_speed == 4.0  # the frozen spec never changes
+    for bad in (0.0, -1.0, 1.5):
+        with pytest.raises(ValueError):
+            server.set_degradation(bad)
+    server.fail()
+    server.recover()
+    assert server.degradation == 1.0  # a reboot cures the limp
+    assert server.speed == 4.0
+
+
+def test_fs_set_speed_is_bookkeeping_only_and_checks_names():
+    cluster = MetadataCluster(["a", "b"], {"fs0": "/p0"})
+    cluster.set_speed("a", 0.5, Seconds(1.0))  # no timing model: a no-op
+    with pytest.raises(FSError):
+        cluster.set_speed("ghost", 0.5, Seconds(1.0))
+
+
+def test_proto_degrade_sets_node_speed_and_recover_resets():
+    cp = ControlPlane(3, seed=1)
+    cp.start()
+    cp.run_until(5.0)
+    name = sorted(cp.nodes)[0]
+    cp.degrade(name, 0.3)
+    assert cp.nodes[name].speed == 0.3
+    assert cp.roster.degradation_of(name) == 0.3
+    assert name in cp.live_nodes  # degraded is still live
+    cp.restore(name)
+    assert cp.nodes[name].speed == 1.0
+    assert cp.roster.degradation_of(name) == 1.0
+
+
+# ----------------------------------------------------------------------
+# Telemetry: the SpeedChanged record
+# ----------------------------------------------------------------------
+def test_speed_changed_roundtrips_through_jsonl_payload():
+    record = SpeedChanged(
+        time=Seconds(12.5), server="server4", factor=0.15,
+        effective_speed=1.35,
+    )
+    payload = record.to_dict()
+    assert payload["kind"] == "speed"
+    back = record_from_dict(payload)
+    assert back == record
+
+
+def test_degradation_free_run_is_byte_identical():
+    """An empty degradation schedule must not perturb the digest chain:
+    the PR-4/PR-5 golden replays stay valid."""
+    from repro.runtime import DigestSink
+
+    def run(faults):
+        trace = generate_synthetic(
+            SyntheticConfig(n_filesets=12, n_requests=300, duration=300.0,
+                            request_cost=0.3, seed=5)
+        )
+        config = ClusterConfig(servers=paper_servers(), tuning_interval=60.0,
+                               sample_window=30.0, seed=1)
+        sink = DigestSink()
+        ClusterSimulation(config, ANUPolicy(), trace, faults,
+                          telemetry=sink).run()
+        return sink.chain[-1]
+
+    assert run(None) == run(FaultSchedule())

@@ -22,6 +22,7 @@ from hypothesis import strategies as st
 from repro.cluster import ClusterConfig, ClusterSimulation, paper_servers
 from repro.fs import FileSystemClient, MetadataCluster
 from repro.membership import (
+    LIMP_CHURN,
     ChaosProfile,
     FaultEvent,
     FaultInjector,
@@ -87,6 +88,110 @@ def test_injector_seed_sensitivity(seed, other):
     assert list(a) != list(b)
 
 
+#: Profiles the min_live prefix property sweeps over: plain churn,
+#: decommission-heavy churn, and the full gray-failure zoo (whose
+#: slow-then-dead ramps end in FAIL events that must also respect the
+#: floor).
+PREFIX_PROFILES = {
+    "churn": CHURN,
+    "decom-heavy": ChaosProfile(
+        mttf=Seconds(300.0),
+        mttr=Seconds(200.0),
+        decommission_every=Seconds(150.0),
+        commission_every=Seconds(400.0),
+        min_live=2,
+        max_commissions=2,
+    ),
+    "limp-churn": LIMP_CHURN,
+}
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    profile=st.sampled_from(sorted(PREFIX_PROFILES)),
+)
+def test_no_schedule_prefix_breaks_min_live(seed, profile):
+    """Regression: the decommission guard was loop-invariant.
+
+    ``generate`` filtered decommission candidates on ``roster.live_count
+    > profile.min_live`` *inside* a comprehension over live servers — a
+    condition that never changes across the comprehension, so it either
+    admitted everyone or no one.  The hoisted guard must keep **every
+    prefix** of every schedule at or above ``min_live``, including
+    prefixes ending mid-ramp (slow-then-dead limps terminate in FAIL).
+    """
+    chosen = PREFIX_PROFILES[profile]
+    schedule = FaultInjector(SPEEDS, chosen, seed=seed).generate(
+        Seconds(2400.0)
+    )
+    roster = MembershipRoster(SPEEDS)
+    for event in schedule:
+        apply_event(roster, event)
+        assert roster.live_count >= chosen.min_live
+
+
+@settings(max_examples=15, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_limp_injector_is_deterministic_and_valid(seed):
+    a = FaultInjector(SPEEDS, LIMP_CHURN, seed=seed).generate(Seconds(2400.0))
+    b = FaultInjector(SPEEDS, LIMP_CHURN, seed=seed).generate(Seconds(2400.0))
+    assert list(a) == list(b)
+    a.validate(set(SPEEDS))
+    low, high = LIMP_CHURN.degrade_factor
+    degrades = [e for e in a if e.kind is FaultKind.DEGRADE]
+    for event in degrades:
+        # Ramp steps halve below `low`, and coupling scales toward 1.0,
+        # but every factor stays a genuine limp: inside (0, 1).
+        assert 0.0 < event.factor < 1.0
+    # Every RESTORE lands on a server a prior DEGRADE actually limped
+    # (validate() above already replayed the lifecycle, so this is just
+    # the structural half: restores never precede their degrade).
+    seen_degraded = set()
+    for event in a:
+        if event.kind is FaultKind.DEGRADE:
+            seen_degraded.add(event.server)
+        elif event.kind is FaultKind.RESTORE:
+            assert event.server in seen_degraded
+
+
+def test_limp_profile_produces_gray_failures():
+    """At least one seed yields both DEGRADE and RESTORE over the horizon
+    (a structural smoke check that the limp process is wired at all)."""
+    kinds = set()
+    for seed in range(5):
+        schedule = FaultInjector(SPEEDS, LIMP_CHURN, seed=seed).generate(
+            Seconds(2400.0)
+        )
+        kinds |= {e.kind for e in schedule}
+    assert FaultKind.DEGRADE in kinds
+    assert FaultKind.RESTORE in kinds
+
+
+def test_degradation_free_profile_is_bit_identical_to_before():
+    """Switching the limp fields off reproduces the fail-stop schedule
+    exactly: old profiles are byte-compatible with the extended injector."""
+    import dataclasses
+
+    limp_off = dataclasses.replace(
+        LIMP_CHURN, degrade_mttd=None, slow_then_dead=0.0,
+        couple_probability=0.0,
+    )
+    base = ChaosProfile(
+        mttf=limp_off.mttf,
+        mttr=limp_off.mttr,
+        decommission_every=limp_off.decommission_every,
+        commission_every=limp_off.commission_every,
+        delegate_crash_every=limp_off.delegate_crash_every,
+        min_live=limp_off.min_live,
+        max_commissions=limp_off.max_commissions,
+    )
+    for seed in range(5):
+        a = FaultInjector(SPEEDS, limp_off, seed=seed).generate(Seconds(2400.0))
+        b = FaultInjector(SPEEDS, base, seed=seed).generate(Seconds(2400.0))
+        assert list(a) == list(b)
+
+
 # ----------------------------------------------------------------------
 # Queueing stack
 # ----------------------------------------------------------------------
@@ -137,6 +242,52 @@ def test_chaos_cluster_stack(seed):
     placement.check_invariants()  # half occupancy + structural soundness
     assert set(placement.servers) == set(sim.roster.live())
     assert placement.interval.partitions >= 2 * (len(placement.servers) + 1)
+
+
+@settings(max_examples=4, deadline=None)
+@given(seed=st.integers(min_value=0, max_value=500))
+def test_chaos_cluster_stack_with_limps(seed):
+    """The queueing stack survives the full gray-failure zoo.
+
+    SpeedChanged records must track roster degradation in lockstep with
+    the harness's effective server speed, degraded servers stay live and
+    owned, and request conservation still holds end to end.
+    """
+    trace = _trace()
+    faults = FaultInjector(SPEEDS, LIMP_CHURN, seed=seed).generate(
+        Seconds(trace.duration)
+    )
+    config = ClusterConfig(servers=paper_servers(), tuning_interval=120.0,
+                           sample_window=60.0, seed=1)
+    policy = ANUPolicy()
+    speed_checks = []
+
+    def _on_record(record):
+        if record.kind == "speed":
+            server = sim.servers[record.server]
+            assert server.alive
+            assert server.degradation == sim.roster.degradation_of(
+                record.server
+            )
+            assert server.speed == server.base_speed * server.degradation
+            assert record.effective_speed == server.speed
+            speed_checks.append(record)
+        elif record.kind == "membership":
+            sim.check_invariants()
+            live = set(sim.roster.live())
+            for owner in sim.planned_assignment().values():
+                assert owner in live
+
+    sim = ClusterSimulation(
+        config, policy, trace, faults, telemetry=CallbackSink(_on_record)
+    )
+    result = sim.run()
+    gray = [e for e in faults
+            if e.kind in (FaultKind.DEGRADE, FaultKind.RESTORE)]
+    assert len(speed_checks) == len(gray)
+    assert sum(result.completed.values()) == len(trace)
+    assert policy.placement is not None
+    policy.placement.check_invariants()
 
 
 # ----------------------------------------------------------------------

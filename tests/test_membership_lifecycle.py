@@ -81,6 +81,101 @@ def test_roster_never_forgets_members():
 
 
 # ----------------------------------------------------------------------
+# MembershipRoster: the gray-failure (degradation) dimension
+# ----------------------------------------------------------------------
+def test_roster_degrade_and_restore_adjust_effective_speed():
+    roster = MembershipRoster({"a": 4.0, "b": 2.0})
+    assert roster.degradation_of("a") == 1.0
+    assert not roster.is_degraded("a")
+    roster.degrade("a", 0.25)
+    assert roster.degradation_of("a") == 0.25
+    assert roster.is_degraded("a")
+    assert roster.effective_speed("a") == pytest.approx(1.0)  # 4.0 * 0.25
+    assert roster.speed_of("a") == 4.0  # nominal speed untouched
+    assert roster.effective_speeds() == {"a": 1.0, "b": 2.0}
+    assert roster.degraded() == ["a"]
+    # Degraded-but-UP is still live: gray failures never change liveness.
+    assert roster.is_live("a") and roster.live() == ["a", "b"]
+    roster.restore("a")
+    assert roster.degradation_of("a") == 1.0
+    assert roster.degraded() == []
+
+
+def test_roster_redegrade_is_legal_for_ramps():
+    roster = MembershipRoster(["a", "b"])
+    roster.degrade("a", 0.5)
+    roster.degrade("a", 0.25)  # slow-then-dead ramps re-degrade in place
+    assert roster.degradation_of("a") == 0.25
+
+
+@pytest.mark.parametrize(
+    "setup, action",
+    [
+        (lambda r: r.fail("a"), lambda r: r.degrade("a", 0.5)),  # down
+        (lambda r: r.decommission("a"), lambda r: r.degrade("a", 0.5)),
+        (lambda r: None, lambda r: r.restore("a")),  # not degraded
+        (lambda r: r.fail("a"), lambda r: r.restore("a")),
+        (lambda r: None, lambda r: r.degrade("ghost", 0.5)),  # unknown
+    ],
+)
+def test_roster_illegal_degradation_transitions_raise(setup, action):
+    roster = MembershipRoster(["a", "b"])
+    setup(roster)
+    with pytest.raises(LifecycleError):
+        action(roster)
+
+
+@pytest.mark.parametrize("factor", [0.0, -0.5, 1.5])
+def test_roster_degrade_rejects_bad_factor(factor):
+    roster = MembershipRoster(["a", "b"])
+    with pytest.raises(LifecycleError):
+        roster.degrade("a", factor)
+
+
+def test_roster_recover_cures_the_limp():
+    """A reboot resets degradation: recover() implies full speed."""
+    roster = MembershipRoster(["a", "b"])
+    roster.degrade("a", 0.1)
+    roster.fail("a")
+    assert roster.degraded() == []  # down servers are not "degraded"
+    roster.recover("a")
+    assert roster.degradation_of("a") == 1.0
+    assert roster.effective_speed("a") == roster.speed_of("a")
+
+
+# ----------------------------------------------------------------------
+# FaultEvent: gray-failure validation
+# ----------------------------------------------------------------------
+def test_degrade_event_validates_factor():
+    FaultEvent(Seconds(1.0), FaultKind.DEGRADE, "a", factor=0.5)
+    for bad in (0.0, -0.1, 1.0001):
+        with pytest.raises(ValueError):
+            FaultEvent(Seconds(1.0), FaultKind.DEGRADE, "a", factor=bad)
+    # factor is ignored for non-DEGRADE kinds (stays at its default).
+    FaultEvent(Seconds(1.0), FaultKind.RESTORE, "a")
+
+
+def test_schedule_validates_gray_failure_lifecycle():
+    sched = (
+        FaultSchedule()
+        .degrade(1.0, "a", 0.25)
+        .restore(5.0, "a")
+        .degrade(6.0, "a", 0.5)
+        .fail(7.0, "a")       # death cuts the limp short
+        .recover(8.0, "a")    # reboot cures it
+        .degrade(9.0, "a", 0.4)
+    )
+    sched.validate({"a", "b"})
+    with pytest.raises(ValueError):
+        FaultSchedule().restore(1.0, "a").validate({"a", "b"})
+    with pytest.raises(ValueError):
+        # Degrading a down server is illegal.
+        FaultSchedule().fail(1.0, "a").degrade(2.0, "a", 0.5).validate(
+            {"a", "b", "c"}
+        )
+
+
+# ----------------------------------------------------------------------
 # FaultSchedule: ordered insertion + lifecycle validation
 # ----------------------------------------------------------------------
 def _legal_event_sequence(draw):
@@ -224,6 +319,9 @@ class RecordingHost:
     def install_server(self, server, speed, now):
         self.calls.append(("install", server, speed))
 
+    def set_speed(self, server, factor, now):
+        self.calls.append(("set_speed", server, factor))
+
     def delegate_failover(self, now):
         self.calls.append(("failover",))
         return None
@@ -319,6 +417,61 @@ def test_director_emits_telemetry_records():
     assert record.fault == "fail"
     assert record.live == 1
     assert record.orphaned + record.rebalanced >= 1
+
+
+def test_director_degrade_is_set_speed_only():
+    """Gray failures must not rebalance, reset history, or re-place.
+
+    The whole point of the limplock model: the placement layer is not
+    told — ANU must *discover* the slow server through latency.  The
+    director realizes a DEGRADE purely as a host ``set_speed`` call.
+    """
+    roster, host, director = _director()
+    change = director.apply(
+        FaultEvent(Seconds(1.0), FaultKind.DEGRADE, "a", factor=0.25)
+    )
+    assert host.calls == [("set_speed", "a", 0.25)]
+    assert change.diff is None and change.moved == 0
+    assert change.live == ("a", "b", "c")  # degraded is still live
+    assert roster.effective_speed("a") == pytest.approx(0.25)
+    host.calls.clear()
+    change = director.apply(FaultEvent(Seconds(2.0), FaultKind.RESTORE, "a"))
+    assert host.calls == [("set_speed", "a", 1.0)]
+    assert change.diff is None
+    assert roster.degradation_of("a") == 1.0
+
+
+def test_director_gray_failure_telemetry_has_no_membership_record():
+    from repro.runtime import MemorySink
+
+    roster = MembershipRoster({"a": 1.0, "b": 2.0})
+    host = RecordingHost(roster, ["f0", "f1"])
+    sink = MemorySink()
+    director = MembershipDirector(roster, host, telemetry=sink)
+    director.apply(FaultEvent(Seconds(5.0), FaultKind.DEGRADE, "a", factor=0.5))
+    director.apply(FaultEvent(Seconds(9.0), FaultKind.RESTORE, "a"))
+    assert [r.kind for r in sink.records] == ["fault", "speed", "fault", "speed"]
+    degrade_rec, restore_rec = sink.of_kind("speed")
+    assert degrade_rec.server == "a" and degrade_rec.factor == 0.5
+    assert degrade_rec.effective_speed == pytest.approx(0.5)
+    assert restore_rec.factor == 1.0
+    assert restore_rec.effective_speed == pytest.approx(1.0)
+    assert sink.counts().get("membership", 0) == 0
+
+
+def test_director_illegal_degrade_mutates_nothing():
+    roster, host, director = _director()
+    director.apply(FaultEvent(Seconds(1.0), FaultKind.FAIL, "a"))
+    host.calls.clear()
+    applied = list(director.applied)
+    with pytest.raises(LifecycleError):
+        director.apply(
+            FaultEvent(Seconds(2.0), FaultKind.DEGRADE, "a", factor=0.5)
+        )
+    with pytest.raises(LifecycleError):
+        director.apply(FaultEvent(Seconds(3.0), FaultKind.RESTORE, "b"))
+    assert host.calls == []
+    assert director.applied == applied
 
 
 def test_director_rejected_event_emits_no_telemetry():

@@ -178,6 +178,97 @@ def test_decision_preserves_relative_share_of_untuned():
     assert decision.new_shares["c"] == shares["c"]
 
 
+# ----------------------------------------------------------------------
+# Gray-failure regressions: unit discipline, all-idle no-op, limp-then-idle
+# ----------------------------------------------------------------------
+def test_system_average_returns_float_seconds_for_every_method():
+    """Regression: the ``-> Seconds`` annotation lied — bare ints/floats
+    leaked out of ``system_average`` (and 0.0 for the no-active case was
+    an int-ish literal).  Every path now returns a float Seconds value."""
+    rs = [ServerReport("a", 0.25, 4), ServerReport("b", 0.75, 4)]
+    for method in ("weighted_mean", "mean", "median"):
+        value = system_average(rs, method)
+        assert isinstance(value, float)
+    assert isinstance(system_average([], "median"), float)
+    assert system_average([ServerReport("a", 0.0, 0)], "mean") == 0.0
+
+
+def test_all_idle_round_is_an_explicit_noop():
+    """Regression: an all-idle report set used to fall through to the
+    zero-width band ``[0, 0]`` comparison; it is now a declared no-op."""
+    tuner = DelegateTuner(AGGRESSIVE)
+    shares = {"a": 2.0, "b": 0.5, "c": 1.0}
+    idle = [ServerReport(n, 0.0, 0) for n in shares]
+    decision = tuner.compute(shares, idle)
+    assert decision.average == 0.0
+    assert decision.new_shares == shares
+    assert decision.tuned == {}
+
+
+def test_limp_then_idle_server_is_not_rewarded():
+    """Regression for the ``latency <= 0.0`` max-boost path.
+
+    A limping server the tuner already shrank to idle reports zero
+    latency with zero requests; granting it ``max_step`` would yo-yo it
+    straight back into rotation.  Unobserved zero latency must be
+    neutral (factor 1.0, share unchanged)."""
+    tuner = DelegateTuner(AGGRESSIVE)
+    shares = {"a": 1.0, "b": 0.4}  # b's share is above the grow-seed floor
+    decision = tuner.compute(
+        shares, [ServerReport("a", 1.0, 100), ServerReport("b", 0.0, 0)]
+    )
+    assert decision.new_shares["b"] == shares["b"]
+    assert decision.tuned.get("b", 1.0) == 1.0
+
+
+def test_observed_zero_latency_still_earns_the_max_boost():
+    """The counterpart: zero latency backed by served requests is a real
+    observation and keeps the pre-fix behaviour (clamped max growth)."""
+    tuner = DelegateTuner(AGGRESSIVE)
+    shares = {"a": 1.0, "b": 0.4}
+    decision = tuner.compute(
+        shares, [ServerReport("a", 1.0, 100), ServerReport("b", 0.0, 50)]
+    )
+    assert decision.tuned["b"] == pytest.approx(AGGRESSIVE.max_step)
+    assert decision.new_shares["b"] > shares["b"]
+
+
+# ----------------------------------------------------------------------
+# Limping server under every heuristic: share decreases monotonically
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize(
+    "config",
+    [THRESHOLD_ONLY, TOP_OFF_ONLY, DIVERGENT_ONLY, ALL_HEURISTICS],
+    ids=["threshold", "top-off", "divergent", "all"],
+)
+def test_heuristics_shed_share_under_rising_latency_ramp(config):
+    """A limping server whose latency rises monotonically (limplock
+    getting worse) must lose mapped share monotonically under every
+    heuristic combination — no gate may mistake the ramp for noise."""
+    tuner = DelegateTuner(config)
+    shares = {"a": 1.0, "b": 1.0, "limp": 1.0}
+    previous = None
+    history = [shares["limp"]]
+    for step, limp_latency in enumerate([3.0, 5.0, 7.0, 9.0, 11.0, 13.0]):
+        current = [
+            ServerReport("a", 1.0, 100),
+            ServerReport("b", 1.0, 100),
+            ServerReport("limp", limp_latency, 100),
+        ]
+        decision = tuner.compute(shares, current, previous)
+        assert decision.new_shares["limp"] <= shares["limp"], (
+            f"{config!r} grew the limping server at ramp step {step}"
+        )
+        shares = decision.new_shares
+        previous = current
+        history.append(shares["limp"])
+    assert history[-1] < history[0], (
+        f"{config!r} never shed share across the whole ramp: {history}"
+    )
+    # The healthy servers never lost absolute share to the limper.
+    assert shares["a"] >= 1.0 and shares["b"] >= 1.0
+
+
 def test_median_average_robust_to_outlier():
     cfg = TuningConfig(
         use_thresholding=True, threshold=0.5, use_top_off=False,
