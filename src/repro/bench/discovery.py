@@ -33,6 +33,7 @@ DEFAULT_SUITES = (
     "fs_substrate",
     "runtime",
     "membership",
+    "routing",
     "dsan",
     "sweep",
 )

@@ -7,8 +7,10 @@ substitute.
 
 Timeline of one run:
 
-- trace arrivals are replayed in order; each request is routed to the
-  current owner of its file set (or buffered if the file set is mid-move);
+- trace arrivals are replayed in order; each request is routed to a live
+  owner of its file set — at ``replication=1`` always the single owner, at
+  higher r whichever live replica the :class:`RequestRouter` picks — and
+  buffers only when every owner is down;
 - every ``tuning_interval`` seconds the delegate round fires: per-server
   latency reports for the elapsed interval are computed and handed to the
   policy, whose new assignment (if any) is realized as shared-disk moves
@@ -44,8 +46,10 @@ from ..membership.faults import FaultEvent, FaultSchedule
 from ..membership.lifecycle import MembershipRoster
 from ..metrics.latency import LatencyCollector
 from ..placement.base import PlacementPolicy, TuningContext, validate_assignment
+from ..placement.replicated import derive_owner_sets
 from ..runtime.arrivals import ArrivalPump
 from ..runtime.loop import TuningLoop
+from ..runtime.routing import RequestRouter, SingleOwnerRouter
 from ..runtime.result import SimResult, summarize_collector
 from ..runtime.telemetry import (
     NULL_SINK,
@@ -138,13 +142,19 @@ class ClusterSimulation:
         trace: Trace,
         faults: FaultSchedule | None = None,
         telemetry: TelemetrySink | None = None,
+        router: RequestRouter | None = None,
+        replication: int = 1,
     ) -> None:
+        if replication < 1:
+            raise ValueError(f"replication must be >= 1, got {replication!r}")
         self.config = config
         self.policy = policy
         self.trace = trace
         self.faults = faults or FaultSchedule()
         self.faults.validate({s.name for s in config.servers})
         self.telemetry = telemetry if telemetry is not None else NULL_SINK
+        self.replication = replication
+        self.router = router if router is not None else SingleOwnerRouter()
 
         self.engine = Engine()
         factory = StreamFactory(config.seed)
@@ -152,6 +162,9 @@ class ClusterSimulation:
             self.engine, config.move_cost, factory.stream("mover")
         )
         self._policy_rng = factory.stream("policy")
+        # Named stream: adding it perturbs no other stream, so r=1 runs
+        # replay byte-identically even though the router is always bound.
+        self.router.bind(factory.stream("request-router"))
 
         self.servers: dict[str, MetadataServer] = {
             spec.name: MetadataServer(self.engine, spec) for spec in config.servers
@@ -187,6 +200,12 @@ class ClusterSimulation:
             name: FileSetState(name=name, owner=initial[name])
             for name in trace.fileset_names
         }
+        #: Replica slots 1..r-1 per file set (empty at r=1).  Derived from
+        #: the planned primary over the live set; refreshed whenever either
+        #: changes.  Shared disk makes these pure routing-table entries —
+        #: updating them moves no data.
+        self._replica_owners: dict[str, tuple[str, ...]] = {}
+        self._refresh_replicas()
 
     # ------------------------------------------------------------------
     # Views
@@ -205,6 +224,40 @@ class ClusterSimulation:
         return {
             name: (st.move_target if st.moving else st.owner)  # type: ignore[misc]
             for name, st in self.filesets.items()
+        }
+
+    def owner_sets(self) -> dict[str, tuple[str, ...]]:
+        """Current owner set per file set: slot 0 is the settled owner,
+        later slots the derived replicas (r=1 yields 1-tuples)."""
+        return {
+            name: (
+                state.owner,
+                *(
+                    s
+                    for s in self._replica_owners.get(name, ())
+                    if s != state.owner
+                ),
+            )
+            for name, state in self.filesets.items()
+        }
+
+    def _refresh_replicas(self) -> None:
+        """Re-derive replica slots from the planned primary + live set.
+
+        Called after initial assignment and after every realize (tuning or
+        membership).  At r=1 this is a constant-time no-op, preserving the
+        classic single-owner run exactly.
+        """
+        if self.replication == 1:
+            return
+        owner_sets = derive_owner_sets(
+            self.planned_assignment(),
+            self.live_servers,
+            self.replication,
+            placement=getattr(self.policy, "placement", None),
+        )
+        self._replica_owners = {
+            name: owners[1:] for name, owners in owner_sets.items()
         }
 
     def check_invariants(self) -> None:
@@ -238,6 +291,11 @@ class ClusterSimulation:
                     f"{name!r} is settled but records move target "
                     f"{state.move_target!r}"
                 )
+            for replica in self._replica_owners.get(name, ()):
+                if replica not in self.servers:
+                    raise ValueError(
+                        f"{name!r} lists unregistered replica {replica!r}"
+                    )
 
     # ------------------------------------------------------------------
     # Run
@@ -280,9 +338,10 @@ class ClusterSimulation:
     def _route(self, request: MetadataRequest) -> None:
         state = self.filesets[request.fileset]
         # During a planned move the source keeps serving (ownership hands
-        # over at flush completion); only a dead owner forces buffering.
-        server = self.servers.get(state.owner)
-        if server is None or not server.alive:
+        # over at flush completion); a request buffers only when *every*
+        # owner of its file set is down.
+        slot, server = self._pick_owner(request.fileset, state)
+        if server is None:
             state.buffer.append(request)
             return
         multiplier = state.next_cost_multiplier(self.config.move_cost.cold_multiplier)
@@ -296,8 +355,49 @@ class ClusterSimulation:
                     fileset=request.fileset,
                     server=server.name,
                     service_time=service_time,
+                    router=self.router.name,
+                    replica=slot,
                 )
             )
+
+    def _pick_owner(
+        self, fileset: str, state: FileSetState
+    ) -> tuple[int, MetadataServer | None]:
+        """The (slot, server) the router picks among live owners.
+
+        ``(0, None)`` means every owner is down and the request must
+        buffer.  The r=1 path never consults the router, preserving the
+        pre-refactor dispatch exactly.
+        """
+        primary = self.servers.get(state.owner)
+        primary_up = primary is not None and primary.alive
+        if self.replication == 1:
+            return 0, (primary if primary_up else None)
+        candidates: list[tuple[int, MetadataServer]] = []
+        if primary_up:
+            assert primary is not None
+            candidates.append((0, primary))
+        # Slot numbering matches owner_sets(): replicas that coincide with
+        # the current owner (possible mid-move) are compacted out, not
+        # skipped-with-a-gap, so the telemetry slot indexes the owner set.
+        slot = 0
+        for name in self._replica_owners.get(fileset, ()):
+            if name == state.owner:
+                continue
+            slot += 1
+            replica = self.servers.get(name)
+            if replica is not None and replica.alive:
+                candidates.append((slot, replica))
+        if not candidates:
+            return 0, None
+        if len(candidates) == 1:
+            return candidates[0]
+        index = self.router.choose(
+            fileset,
+            [server.name for _, server in candidates],
+            lambda name: self.servers[name].facility.queue_length,
+        )
+        return candidates[index]
 
     def _make_completion(self, server: MetadataServer, service_time: float):
         def _on_complete(request: MetadataRequest) -> None:
@@ -306,6 +406,10 @@ class ClusterSimulation:
                 latency = max(response - service_time, 0.0)
             else:
                 latency = response
+            if self.router.observes:
+                # Latency-learning routers get the same response-time
+                # signal the delegate tuner sees — never the true speed.
+                self.router.observe(server.name, response)
             self.collector.record(server.name, self.engine.now, latency)
             self.completed[server.name] = self.completed.get(server.name, 0) + 1
             sink = self.telemetry
@@ -380,6 +484,9 @@ class ClusterSimulation:
                 state.redirect_move(move.destination)
             else:
                 self.mover.start_move(state, move.destination, self._on_move_done)
+        # Replica slots follow the new primary plan instantly: shared disk
+        # means a replica-slot change is a routing-table update, not a move.
+        self._refresh_replicas()
 
     #: Backwards-compatible alias (pre-runtime name, used by older drivers).
     _realize = realize

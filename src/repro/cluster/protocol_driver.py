@@ -27,6 +27,7 @@ from ..membership.faults import FaultEvent, FaultKind, FaultSchedule
 from ..placement.base import PlacementPolicy, TuningContext
 from ..proto.network import Network, NetworkConfig
 from ..proto.node import ProtocolConfig, ServerNode
+from ..runtime.routing import RequestRouter
 from ..runtime.telemetry import TelemetrySink
 from ..sim.events import PRIORITY_EARLY
 from ..sim.rng import StreamFactory
@@ -93,14 +94,24 @@ class ProtocolDrivenCluster:
         delegate_crash_times: Sequence[float] = (),
         telemetry: TelemetrySink | None = None,
         faults: FaultSchedule | None = None,
+        router: RequestRouter | None = None,
+        replication: int = 1,
     ) -> None:
         self.config = config
         self.policy = PassiveANUPolicy()
         # The sink sees the queueing stream (arrivals, moves) from the
         # simulation plus protocol-level records (elections, delegate
-        # rounds) from the nodes.
+        # rounds) from the nodes.  Dispatch happens inside the wrapped
+        # simulation, so forwarding router + replication there puts the
+        # routing plane under the protocol-driven stack too.
         self.sim = ClusterSimulation(
-            config, self.policy, trace, faults=faults, telemetry=telemetry
+            config,
+            self.policy,
+            trace,
+            faults=faults,
+            telemetry=telemetry,
+            router=router,
+            replication=replication,
         )
         factory = StreamFactory(config.seed).spawn("protocol")
         self.network = Network(self.sim.engine, factory.stream("network"), network)
@@ -126,6 +137,7 @@ class ProtocolDrivenCluster:
                 tuning=tuning,
                 initial_shares={s: 1.0 for s in server_names},
                 telemetry=telemetry,
+                queue_source=self._make_queue_source(name),
             )
             self.nodes[name] = node
         for t in delegate_crash_times:
@@ -148,6 +160,16 @@ class ProtocolDrivenCluster:
             return self.sim.collector.interval_report(
                 name, max(0.0, now - interval), now
             )
+
+        return source
+
+    def _make_queue_source(self, name: str):
+        """Expose the server's instantaneous queue depth to its node —
+        the routing plane's signal, piggybacked on report replies."""
+
+        def source() -> int:
+            server = self.sim.servers.get(name)
+            return server.facility.queue_length if server is not None else 0
 
         return source
 
@@ -210,6 +232,7 @@ class ProtocolDrivenCluster:
                 initial_shares={s: 1.0 for s in sorted(self.nodes)}
                 | {event.server: 1.0},
                 telemetry=self._telemetry,
+                queue_source=self._make_queue_source(event.server),
             )
             self.nodes[event.server] = node
             node.start()

@@ -67,6 +67,35 @@ class ANUPlacement:
         """Assignment of every name in ``names`` under the current state."""
         return {name: self.locate(name) for name in names}
 
+    def locate_owner_set(self, name: str, r: int) -> tuple[str, ...]:
+        """The first ``r`` distinct servers along ``name``'s probe path.
+
+        The probe-native replicated-ownership view: slot 0 is exactly
+        :meth:`locate` (the first mapped probe, or the direct-to-server
+        fallback when every probe misses), and later slots are the next
+        *different* servers the probe sequence hits.  When the bounded
+        probe walk yields fewer than ``r`` distinct owners, the rest are
+        filled by the deterministic fallback choice over the not-yet-
+        chosen servers — so ``r`` owners always come back while the fleet
+        has that many.
+        """
+        if r < 1:
+            raise ValueError(f"need at least one owner, got r={r!r}")
+        owners = self.interval.locate_distinct(
+            (self.hashes.probe(name, round_)
+             for round_ in range(self.hashes.max_rounds)),
+            r,
+        )
+        chosen = set(owners)
+        while len(owners) < r:
+            remaining = [s for s in self.interval.servers if s not in chosen]
+            if not remaining:
+                break
+            pick = self.hashes.fallback_choice(name, remaining)
+            chosen.add(pick)
+            owners.append(pick)
+        return tuple(owners)
+
     # ------------------------------------------------------------------
     # Reconfiguration (delegates to the interval)
     # ------------------------------------------------------------------

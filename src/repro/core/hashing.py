@@ -62,6 +62,30 @@ def hash_to_choice(name: str, round_: int, n: int, namespace: str = "anu") -> in
     return hash64(name, round_, namespace) % n
 
 
+def hash_to_distinct_choices(
+    name: str, k: int, n: int, namespace: str = "anu", start_round: int = 0
+) -> tuple[int, ...]:
+    """``k`` *distinct* indices in [0, n), deterministically from ``name``.
+
+    Successive ``hash_to_choice(name, round, n)`` draws are independent
+    uniform picks, so two rounds can collide on the same index — a d=2
+    candidate pair silently collapses to d=1 with probability 1/n.  This
+    samples *without replacement*: each round's hash indexes the still-
+    unchosen positions, so the draw is always fresh and exactly
+    ``min(k, n)`` indices come back (in draw order, first draw first).
+    """
+    if n <= 0:
+        raise ValueError(f"need at least one choice, got n={n!r}")
+    if k < 0:
+        raise ValueError(f"need a non-negative draw count, got k={k!r}")
+    remaining = list(range(n))
+    chosen: list[int] = []
+    for round_ in range(start_round, start_round + min(k, n)):
+        idx = hash64(name, round_, namespace) % len(remaining)
+        chosen.append(remaining.pop(idx))
+    return tuple(chosen)
+
+
 class HashFamily:
     """A bounded probe sequence over the unit interval with server fallback.
 

@@ -264,6 +264,31 @@ class MappedInterval:
         offset = tick - idx * psize
         return owner if offset < self._prefix[idx] else None
 
+    def locate_distinct(self, points: Iterable[float], k: int) -> list[str]:
+        """Up to ``k`` *distinct* owners along a probe-point sequence.
+
+        The replicated-ownership view: walking a hash family's probe
+        sequence through this method yields the first ``k`` different
+        servers the probes land on, in probe order — slot 0 is exactly
+        what :meth:`locate_point` returns for the first mapped probe, so
+        the primary owner of an owner set built this way coincides with
+        the classic single-owner placement.  Unmapped probes and repeat
+        hits are skipped; fewer than ``k`` owners come back when the
+        sequence runs out first.
+        """
+        if k < 0:
+            raise IntervalError(f"need a non-negative owner count, got {k!r}")
+        owners: list[str] = []
+        seen: set[str] = set()
+        for point in points:
+            if len(owners) >= k:
+                break
+            owner = self.locate_point(point)
+            if owner is not None and owner not in seen:
+                seen.add(owner)
+                owners.append(owner)
+        return owners
+
     # ------------------------------------------------------------------
     # Share updates (minimal movement)
     # ------------------------------------------------------------------

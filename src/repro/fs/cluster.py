@@ -24,6 +24,7 @@ from ..core.tuning import DelegateTuner, ServerReport, TuningConfig
 from ..membership.director import MembershipDirector
 from ..membership.faults import FaultEvent, FaultKind
 from ..membership.lifecycle import MembershipRoster
+from ..placement.replicated import derive_owner_set
 from ..runtime.telemetry import NULL_SINK, TelemetrySink
 from ..units import Seconds
 from . import paths
@@ -170,6 +171,24 @@ class MetadataCluster:
     def ownership(self) -> dict[str, str]:
         """file set -> owner map (copy)."""
         return dict(self._ownership)
+
+    def owner_set_of(self, fileset: str, replication: int) -> tuple[str, ...]:
+        """``fileset``'s r-way owner set: the authoritative owner at
+        slot 0, derived replicas after it.
+
+        Replicas are the routing plane only — :meth:`submit` still
+        executes on the slot-0 owner (exactly-once semantics and
+        :meth:`check_consistency` both hinge on the single authoritative
+        ownership map); a replica merely *serves* the request off the
+        shared-disk image, which is what the timed harness accounts.
+        """
+        return derive_owner_set(
+            fileset,
+            self.owner_of(fileset),
+            sorted(self.services),
+            replication,
+            placement=self.placement,
+        )
 
     # ------------------------------------------------------------------
     # Client entry point

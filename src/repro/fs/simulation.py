@@ -38,6 +38,7 @@ from ..metrics.latency import LatencyCollector
 from ..placement.base import TuningContext
 from ..runtime.arrivals import schedule_all
 from ..runtime.loop import TuningLoop
+from ..runtime.routing import RequestRouter, SingleOwnerRouter
 from ..runtime.result import SimResult, summarize_collector
 from ..runtime.telemetry import (
     NULL_SINK,
@@ -67,6 +68,12 @@ class FullSystemConfig:
     move_delay_min: float = 5.0
     move_delay_max: float = 10.0
     seed: int = 0
+    #: Owner-set size.  Replication here is routing-plane only: operations
+    #: still *execute* on the authoritative slot-0 owner (exactly-once and
+    #: the namespace-consistency check both depend on it); a replica serves
+    #: the request off the shared-disk image, so queueing/wait accounting
+    #: lands on the replica's facility.
+    replication: int = 1
 
     def __post_init__(self) -> None:
         if not self.server_speeds:
@@ -75,6 +82,10 @@ class FullSystemConfig:
             raise ValueError("speeds must be positive")
         if not 0 <= self.move_delay_min <= self.move_delay_max:
             raise ValueError("need 0 <= move_delay_min <= move_delay_max")
+        if self.replication < 1:
+            raise ValueError(
+                f"replication must be >= 1, got {self.replication!r}"
+            )
 
 
 @dataclass
@@ -114,16 +125,21 @@ class FullSystemSimulation:
         operations: list[Operation],
         tuning: TuningConfig | None = None,
         telemetry: TelemetrySink | None = None,
+        router: RequestRouter | None = None,
     ) -> None:
         self.config = config
         self.operations = sorted(operations, key=lambda o: o.time)
         self.telemetry = telemetry if telemetry is not None else NULL_SINK
+        self.router = router if router is not None else SingleOwnerRouter()
         self.engine = Engine()
         factory = StreamFactory(config.seed)
         self._move_rng = factory.stream("fs-sim-mover")
         #: Explicit policy stream (satisfies the deterministic-RNG contract
         #: of TuningContext; the delegate tuner itself draws nothing).
         self._tuning_rng = factory.stream("fs-sim-tuning")
+        # Named stream: binding it perturbs no other stream, so r=1 runs
+        # replay byte-identically whether or not a router was passed.
+        self.router.bind(factory.stream("fs-sim-router"))
         self.cluster = MetadataCluster(
             sorted(config.server_speeds), config.fileset_roots, tuning=tuning
         )
@@ -202,7 +218,8 @@ class FullSystemSimulation:
     def _on_arrival(self, op: Operation) -> None:
         fileset = self.cluster.registry.fileset_of(op.path)
         owner = self.cluster.owner_of(fileset)
-        speed = self.config.server_speeds[owner]
+        slot, server = self._pick_server(fileset, owner)
+        speed = self.config.server_speeds[server]
         cost = self.config.mean_op_cost * op.op.weight / MEAN_WEIGHT
         arrival = self.engine.now
         sink = self.telemetry
@@ -212,12 +229,15 @@ class FullSystemSimulation:
         def _serve() -> None:
             # Execute on whoever owns the file set NOW — ownership may have
             # moved while the op queued; the shared-disk image moved with
-            # it, so execution remains correct either way.  We route to the
-            # *current* owner to model ownership fencing.
+            # it, so execution remains correct either way.  The op queues
+            # and is timed at the routed replica, but semantically executes
+            # through the authoritative owner (ownership fencing).
             result = self._execute(op)
             wait = max(self.engine.now - arrival - cost / speed, 0.0)
-            self.collector.record(owner, self.engine.now, wait)
-            self.completed[owner] += 1
+            if self.router.observes:
+                self.router.observe(server, self.engine.now - arrival)
+            self.collector.record(server, self.engine.now, wait)
+            self.completed[server] += 1
             if result.ok:
                 self.ops_completed += 1
             else:
@@ -226,18 +246,46 @@ class FullSystemSimulation:
             if sink.enabled:
                 sink.emit(
                     RequestCompleted(
-                        time=self.engine.now, server=owner, latency=wait
+                        time=self.engine.now, server=server, latency=wait
                     )
                 )
 
-        self.facilities[owner].request(cost / speed, _serve)
+        self.facilities[server].request(cost / speed, _serve)
         if sink.enabled:
             sink.emit(
                 RequestDispatched(
-                    time=arrival, fileset=fileset, server=owner,
+                    time=arrival, fileset=fileset, server=server,
                     service_time=cost / speed,
+                    router=self.router.name, replica=slot,
                 )
             )
+
+    def _pick_server(self, fileset: str, owner: str) -> tuple[int, str]:
+        """The (slot, server) that serves this operation.
+
+        At ``replication=1`` this is the authoritative owner with no
+        router consultation — the classic path, byte-identical to the
+        pre-refactor harness.  At higher r the router picks among the
+        file set's owner set (restricted to servers with facilities).
+        """
+        if self.config.replication == 1:
+            return 0, owner
+        owners = self.cluster.owner_set_of(fileset, self.config.replication)
+        candidates = [
+            (slot, name)
+            for slot, name in enumerate(owners)
+            if name in self.facilities
+        ]
+        if not candidates:
+            return 0, owner
+        if len(candidates) == 1:
+            return candidates[0]
+        index = self.router.choose(
+            fileset,
+            [name for _, name in candidates],
+            lambda name: self.facilities[name].queue_length,
+        )
+        return candidates[index]
 
     def _execute(self, op: Operation) -> OpResult:
         _server, result = self.cluster.submit(

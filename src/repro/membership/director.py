@@ -22,8 +22,10 @@ plane.  :class:`MembershipDirector` owns that logic once:
    ``ANUPlacement`` re-probe; the placement layer repartitions whenever
    ``p < 2*(n+1)``), reset delegate report history (the paper's
    stateless recovery), classify the resulting moves with
-   :func:`~repro.core.movement.diff_assignment` into *orphan re-homes*
-   versus *live rebalances*, and have the host realize the diff;
+   :func:`~repro.core.movement.diff_owner_sets` into *orphan re-homes*
+   versus *live rebalances* (slot-wise, so replicated hosts orphan a
+   file set only when every owner is gone), and have the host realize
+   the diff;
 5. **re-injection** — hand any work orphaned by a crash back to the host
    for re-dispatch, after the re-placement so it routes to the new
    owners.
@@ -45,7 +47,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Protocol
 
-from ..core.movement import ReconfigDiff, diff_assignment
+from ..core.movement import ReconfigDiff, diff_owner_sets
 from ..runtime.telemetry import (
     NULL_SINK,
     FaultInjected,
@@ -282,6 +284,10 @@ class MembershipDirector:
         if pair is None:
             return None
         old, new = pair
-        diff = diff_assignment(old, new)
+        # Owner-set-aware diff: identical to diff_assignment for the
+        # classic str-valued maps, but hosts that report r-way owner sets
+        # get per-slot classification — a crash orphans a file set's work
+        # only when *all* of its owners are gone.
+        diff = diff_owner_sets(old, new)
         self.host.realize_membership(dict(old), dict(new), now)
         return diff

@@ -6,21 +6,40 @@
 - :class:`~repro.placement.round_robin.RoundRobinPolicy` — static equal-count;
 - :class:`~repro.placement.prescient.PrescientPolicy` — perfect-knowledge LPT;
 - :class:`~repro.placement.consistent_hash.ConsistentHashPolicy` — related-work
-  baseline.
+  baseline;
+- :class:`~repro.placement.replicated.ReplicatedPolicy` — r-way owner-set
+  wrapper over any of the above (the assignment plane of the two-plane
+  placement split; see :mod:`repro.runtime.routing` for the other plane).
 """
 
 from .anu_policy import ANUPolicy, DecentralizedANUPolicy
-from .base import PlacementPolicy, TuningContext, validate_assignment
+from .base import (
+    OwnerSet,
+    PlacementPolicy,
+    TuningContext,
+    normalize_owner_set,
+    normalize_owner_sets,
+    validate_assignment,
+    validate_owner_sets,
+)
 from .consistent_hash import ConsistentHashPolicy, ConsistentHashRing
 from .prescient import PrescientPolicy, lpt_assign, predicted_makespan
+from .replicated import ReplicatedPolicy, derive_owner_set, derive_owner_sets
 from .round_robin import RoundRobinPolicy
 from .simple_random import SimpleRandomPolicy
 from .two_choice import TwoChoicePolicy
 
 __all__ = [
+    "OwnerSet",
     "PlacementPolicy",
     "TuningContext",
+    "normalize_owner_set",
+    "normalize_owner_sets",
     "validate_assignment",
+    "validate_owner_sets",
+    "ReplicatedPolicy",
+    "derive_owner_set",
+    "derive_owner_sets",
     "ANUPolicy",
     "DecentralizedANUPolicy",
     "SimpleRandomPolicy",

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from ..core.hashing import hash_to_choice
+from ..core.hashing import hash_to_distinct_choices
 from .base import PlacementPolicy
 
 
@@ -39,11 +39,21 @@ class TwoChoicePolicy(PlacementPolicy):
             raise ValueError("weights must be positive")
         self._weights = dict(weights)
 
-    def _candidates(self, name: str, servers: Sequence[str]) -> tuple[str, str]:
-        ordered = sorted(servers)
-        a = ordered[hash_to_choice(name, 0, len(ordered), self.namespace)]
-        b = ordered[hash_to_choice(name, 1, len(ordered), self.namespace)]
-        return a, b
+    def _candidates(self, name: str, ordered: Sequence[str]) -> tuple[str, str]:
+        """Two *distinct* candidate servers for ``name``.
+
+        ``ordered`` must already be sorted (callers hoist the sort out of
+        their per-file-set loops).  Rounds 0 and 1 of
+        :func:`~repro.core.hashing.hash_to_choice` are independent draws,
+        so they can land on the same server — which silently collapses
+        d=2 to d=1 (single-choice) for the affected names.  Sampling
+        without replacement keeps both choices real; a one-server fleet
+        degenerately returns it twice.
+        """
+        picks = hash_to_distinct_choices(name, 2, len(ordered), self.namespace)
+        if len(picks) == 1:
+            return ordered[picks[0]], ordered[picks[0]]
+        return ordered[picks[0]], ordered[picks[1]]
 
     def initial_assignment(
         self, filesets: Sequence[str], servers: Sequence[str]
@@ -53,8 +63,9 @@ class TwoChoicePolicy(PlacementPolicy):
         load: dict[str, float] = {s: 0.0 for s in servers}
         weights = self._weights or {}
         assignment: dict[str, str] = {}
+        ordered = sorted(servers)
         for name in sorted(filesets):
-            a, b = self._candidates(name, servers)
+            a, b = self._candidates(name, ordered)
             wa = weights.get(a, 1.0)
             wb = weights.get(b, 1.0)
             # Less (capacity-normalized) load wins; ties to the first.
@@ -83,8 +94,11 @@ class TwoChoicePolicy(PlacementPolicy):
                 load[owner] += 1.0
             else:
                 orphans.append(name)
+        # Hoisted: sorting the survivors per orphan made this loop
+        # O(k·n log n); the live set is fixed for the whole change.
+        survivors = sorted(live)
         for name in orphans:
-            a, b = self._candidates(name, sorted(live))
+            a, b = self._candidates(name, survivors)
             wa = weights.get(a, 1.0)
             wb = weights.get(b, 1.0)
             chosen = a if load[a] / wa <= load[b] / wb else b

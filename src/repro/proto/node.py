@@ -74,6 +74,9 @@ class ProtocolConfig:
 
 #: Supplies a node's latency report when the delegate asks.
 ReportSource = Callable[[], ServerReport]
+#: Supplies a node's instantaneous facility queue depth (routing-plane
+#: signal, piggybacked on report replies).
+QueueSource = Callable[[], int]
 #: Invoked when a node applies a new configuration.
 ConfigSink = Callable[[dict[str, float], int], None]
 
@@ -93,6 +96,7 @@ class ServerNode:
         tuning: TuningConfig | None = None,
         initial_shares: dict[str, float] | None = None,
         telemetry: TelemetrySink | None = None,
+        queue_source: QueueSource | None = None,
     ) -> None:
         self.name = name
         self.priority = priority
@@ -100,6 +104,7 @@ class ServerNode:
         self.network = network
         self.config = config or ProtocolConfig()
         self.report_source = report_source
+        self.queue_source = queue_source
         self.on_config = on_config
         self.tuner = DelegateTuner(tuning)
         self.telemetry = telemetry if telemetry is not None else NULL_SINK
@@ -123,7 +128,10 @@ class ServerNode:
         self._got_ok = False
         self._election_round = 0
         self._round_id = 0
-        self._round_replies: dict[int, list[ServerReport]] = {}
+        self._round_replies: dict[int, list[ReportReply]] = {}
+        #: Last collection round's per-server queue depths (routing-plane
+        #: view, refreshed by :meth:`_finish_round` on the delegate).
+        self.last_queue_depths: dict[str, int] = {}
 
         network.register(name, self._on_message)
 
@@ -256,15 +264,19 @@ class ServerNode:
             self.epoch = max(self.epoch, req.epoch)
             self.delegate = req.delegate
             self._last_heartbeat = self.engine.now
-        self.network.send(
-            self.name, src, ReportReply(round_id=req.round_id,
-                                        report=self.report_source())
+        self.network.send(self.name, src, self._make_reply(req.round_id))
+
+    def _make_reply(self, round_id: int) -> ReportReply:
+        """This node's reply: latency report plus piggybacked queue depth."""
+        depth = self.queue_source() if self.queue_source is not None else 0
+        return ReportReply(
+            round_id=round_id, report=self.report_source(), queue_depth=depth
         )
 
     def _on_report_reply(self, reply: ReportReply) -> None:
         bucket = self._round_replies.get(reply.round_id)
         if bucket is not None:
-            bucket.append(reply.report)
+            bucket.append(reply)
 
     def _on_config_update(self, update: ConfigUpdate) -> None:
         if update.epoch < self.epoch:
@@ -363,7 +375,7 @@ class ServerNode:
             return
         self._round_id += 1
         round_id = self._round_id
-        self._round_replies[round_id] = [self.report_source()]
+        self._round_replies[round_id] = [self._make_reply(round_id)]
         self.network.broadcast(
             self.name,
             ReportRequest(delegate=self.name, epoch=self.epoch, round_id=round_id),
@@ -374,14 +386,17 @@ class ServerNode:
         self.engine.schedule(self.config.tuning_interval, self._tuning_round)
 
     def _finish_round(self, round_id: int) -> None:
-        reports = self._round_replies.pop(round_id, [])
-        if not self.is_delegate or not reports:
+        replies = self._round_replies.pop(round_id, [])
+        if not self.is_delegate or not replies:
             return
         # Tune only over the servers that answered; shares for silent
         # servers are preserved as-is.  The shared round driver filters the
         # previous reports down to this round's responders, so the
         # divergent gate only compares a server against its own history.
-        named = {r.name: r for r in reports}
+        named = {reply.report.name: reply.report for reply in replies}
+        self.last_queue_depths = {
+            reply.report.name: reply.queue_depth for reply in replies
+        }
         shares = {
             name: self.shares.get(name, 1.0) for name in named
         }

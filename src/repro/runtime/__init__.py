@@ -3,7 +3,8 @@
 One implementation of the pieces every harness in this repository was
 duplicating: arrival scheduling (:mod:`.arrivals`), the delegate tuning
 loop (:mod:`.loop`), the run-result shape (:mod:`.result`), a structured
-telemetry event stream (:mod:`.telemetry`), and the :class:`Scenario`
+telemetry event stream (:mod:`.telemetry`), the per-request routing
+plane over replicated owners (:mod:`.routing`), and the :class:`Scenario`
 assembly that runs one experiment description through any of the three
 harness stacks (:mod:`.scenario`).
 """
@@ -11,6 +12,14 @@ harness stacks (:mod:`.scenario`).
 from .arrivals import ArrivalPump, schedule_all
 from .loop import DelegateRoundDriver, TuningHost, TuningLoop
 from .result import SimResult, summarize_collector
+from .routing import (
+    ROUTER_FACTORIES,
+    JSQRouter,
+    RequestRouter,
+    SingleOwnerRouter,
+    WeightedPowerOfDRouter,
+    make_router,
+)
 from .telemetry import (
     NULL_SINK,
     CallbackSink,
@@ -43,6 +52,12 @@ __all__ = [
     "TuningLoop",
     "SimResult",
     "summarize_collector",
+    "ROUTER_FACTORIES",
+    "JSQRouter",
+    "RequestRouter",
+    "SingleOwnerRouter",
+    "WeightedPowerOfDRouter",
+    "make_router",
     "Scenario",
     "NULL_SINK",
     "CallbackSink",

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
     from ..placement.base import PlacementPolicy
     from ..proto.node import ProtocolConfig
     from ..workloads.trace import Trace
+    from .routing import RequestRouter
 
 __all__ = ["Scenario"]
 
@@ -77,6 +78,14 @@ class Scenario:
     #: Speed-1 seconds for a mean-weight semantic op (fs + bridged trace).
     mean_op_cost: float = 0.1
     tuning: "TuningConfig | None" = None
+    #: Owner-set size (assignment plane); 1 = the classic single-owner model.
+    replication: int = 1
+    #: Routing-plane router, by registry name
+    #: (:data:`repro.runtime.routing.ROUTER_FACTORIES`); ``None`` means the
+    #: single-owner passthrough.  A name rather than an instance keeps
+    #: scenarios picklable for the sweep's process pool, and routers are
+    #: stateful so every run must build a fresh one anyway.
+    router: str | None = None
 
     def __post_init__(self) -> None:
         if not self.servers:
@@ -87,6 +96,24 @@ class Scenario:
             raise ValueError(
                 "give either an explicit fault schedule or an injector, not both"
             )
+        if self.replication < 1:
+            raise ValueError(
+                f"replication must be >= 1, got {self.replication!r}"
+            )
+        if self.router is not None:
+            from .routing import ROUTER_FACTORIES
+
+            if self.router not in ROUTER_FACTORIES:
+                raise ValueError(
+                    f"unknown router {self.router!r}; known: "
+                    f"{', '.join(sorted(ROUTER_FACTORIES))}"
+                )
+
+    def make_router(self) -> "RequestRouter":
+        """A fresh router instance for one run (routers are stateful)."""
+        from .routing import make_router
+
+        return make_router(self.router or "single")
 
     def fault_schedule(self) -> "FaultSchedule | None":
         """The run's fault schedule: explicit, injector-generated, or None."""
@@ -137,6 +164,8 @@ class Scenario:
             self.cluster_trace(),
             faults=self.fault_schedule(),
             telemetry=telemetry,
+            router=self.make_router(),
+            replication=self.replication,
         ).run()
 
     def run_full_system(
@@ -160,10 +189,11 @@ class Scenario:
             sample_window=self.sample_window,
             mean_op_cost=self.mean_op_cost,
             seed=self.seed,
+            replication=self.replication,
         )
         return FullSystemSimulation(
             config, list(self.operations), tuning=self.tuning,
-            telemetry=telemetry,
+            telemetry=telemetry, router=self.make_router(),
         ).run()
 
     def run_protocol(
@@ -190,4 +220,6 @@ class Scenario:
             delegate_crash_times=delegate_crash_times,
             telemetry=telemetry,
             faults=self.fault_schedule(),
+            router=self.make_router(),
+            replication=self.replication,
         ).run()

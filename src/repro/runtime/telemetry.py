@@ -83,13 +83,22 @@ class RequestArrived(TelemetryRecord):
 
 @dataclass(frozen=True, slots=True)
 class RequestDispatched(TelemetryRecord):
-    """A request was submitted to a server's queue."""
+    """A request was submitted to a server's queue.
+
+    ``router`` and ``replica`` record the routing-plane decision under
+    replicated ownership: which :class:`~repro.runtime.routing`
+    router chose the target, and which owner-set slot it landed on
+    (0 = primary).  The defaults are the classic single-owner dispatch,
+    so pre-replication JSONL streams round-trip unchanged.
+    """
 
     kind: ClassVar[str] = "dispatch"
 
     fileset: str
     server: str
     service_time: Seconds
+    router: str = "single"
+    replica: int = 0
 
 
 @dataclass(frozen=True, slots=True)

@@ -12,6 +12,8 @@ The package splits along the process boundary:
 - :mod:`repro.sweep.orchestrator` — pluggable executors (serial /
   ``multiprocessing`` / ``concurrent.futures``), sharded JSONL output,
   order-independent merge, resume-from-partial.
+- :mod:`repro.sweep.table` — deterministic seed-aggregation of a merged
+  sweep into the (policy x r x router x limp) comparison table.
 - :mod:`repro.sweep.cli` — the ``repro-sweep`` command.
 
 Only ``api`` and ``grid`` import eagerly (both are stdlib-only, keeping

@@ -12,6 +12,7 @@ import sys
 import time
 from typing import Sequence
 
+from ..runtime.routing import ROUTER_FACTORIES
 from .grid import GridSpec, PlanError
 from .orchestrator import EXECUTORS, run_sweep
 from .worker import LIMP_SCHEDULES, POLICY_FACTORIES
@@ -67,6 +68,17 @@ def _build_parser() -> argparse.ArgumentParser:
              "couple); omitted = no limp axis",
     )
     parser.add_argument(
+        "--routers", default=None,
+        help="comma-separated routing-plane axis (single, jsq2, jsq3, "
+             "wjsq2, wjsq3); omitted = no router axis (single-owner "
+             "dispatch)",
+    )
+    parser.add_argument(
+        "--replication", default=None, metavar="R[,R...]",
+        help="comma-separated owner-set-size axis (e.g. 1,2,3); omitted "
+             "= no replication axis (r=1)",
+    )
+    parser.add_argument(
         "--executor", choices=EXECUTORS, default="serial",
         help="execution backend (default: %(default)s)",
     )
@@ -81,6 +93,11 @@ def _build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--quick", action="store_true",
         help="tiny per-cell workload (12 file sets, 60 requests, 120 s)",
+    )
+    parser.add_argument(
+        "--table", action="store_true",
+        help="after a complete run, print a markdown comparison table "
+             "(policy x r x router x limp, seed-aggregated) to stdout",
     )
     parser.add_argument(
         "--list-policies", action="store_true",
@@ -113,7 +130,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     if args.jobs < 1:
         parser.error("--jobs must be >= 1")
 
-    axes: dict[str, list[str]] = {"policy": policies}
+    axes: dict[str, list] = {"policy": policies}
     if args.limps is not None:
         limps = [p.strip() for p in args.limps.split(",") if p.strip()]
         unknown = sorted(set(limps) - set(LIMP_SCHEDULES))
@@ -123,6 +140,27 @@ def main(argv: Sequence[str] | None = None) -> int:
                 else "--limps needs at least one profile"
             )
         axes["limp"] = limps
+    if args.routers is not None:
+        routers = [p.strip() for p in args.routers.split(",") if p.strip()]
+        unknown = sorted(set(routers) - set(ROUTER_FACTORIES))
+        if not routers or unknown:
+            parser.error(
+                f"unknown routers: {', '.join(unknown)}" if unknown
+                else "--routers needs at least one router"
+            )
+        axes["router"] = routers
+    if args.replication is not None:
+        try:
+            levels = [
+                int(p.strip())
+                for p in args.replication.split(",")
+                if p.strip()
+            ]
+        except ValueError:
+            parser.error("--replication must be comma-separated integers")
+        if not levels or any(r < 1 for r in levels):
+            parser.error("--replication needs integers >= 1")
+        axes["r"] = levels
 
     base = {
         "n_filesets": 12 if args.quick else args.filesets,
@@ -165,6 +203,16 @@ def main(argv: Sequence[str] | None = None) -> int:
     if result.complete:
         print(f"merged: {result.outdir / 'merged.jsonl'}")
         print(f"digest: {result.merged_digest}")
+        if args.table:
+            from .table import aggregate, read_rows, render_markdown
+
+            print()
+            print(
+                render_markdown(
+                    aggregate(read_rows(result.outdir / "merged.jsonl"))
+                ),
+                end="",
+            )
         return 0
     print(f"partial: {result.total - done} cell(s) outstanding; rerun to resume")
     return 1

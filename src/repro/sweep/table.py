@@ -1,0 +1,90 @@
+"""Aggregate a sweep's merged JSONL into a comparison table.
+
+The routing-plane experiments need one artifact: a
+(policy x r x router x limp) table of mean latencies, aggregated over the
+seed axis.  This module renders it straight from ``merged.jsonl`` so a
+single ``repro-sweep ... --table`` invocation produces the EXPERIMENTS.md
+table, with no notebook or ad-hoc script in between.
+
+Aggregation is deterministic: rows are grouped by their sorted parameter
+signature and emitted in sorted order, so the same merged file always
+renders byte-identical markdown.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["aggregate", "read_rows", "render_markdown"]
+
+#: Parameters that identify a table row (everything except the seed);
+#: listed in presentation order.
+GROUP_KEYS = ("policy", "r", "router", "limp")
+
+
+def read_rows(path: str | Path) -> list[dict]:
+    """Parse one merged JSONL sweep output into row dicts."""
+    rows = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                rows.append(json.loads(line))
+    return rows
+
+
+def _group_of(params: Mapping[str, object]) -> tuple:
+    """The row's identity under seed-aggregation, in GROUP_KEYS order."""
+    return tuple(params.get(key) for key in GROUP_KEYS)
+
+
+def aggregate(rows: Iterable[Mapping]) -> list[dict]:
+    """Collapse the seed axis: one output row per parameter combination.
+
+    Reports the seed-mean of each cell's overall mean latency, the mean
+    of per-cell completed totals and move counts, and the seed count —
+    enough to rank (policy, r, router) families per limp profile.
+    """
+    groups: dict[tuple, list[Mapping]] = {}
+    for row in rows:
+        groups.setdefault(_group_of(row["params"]), []).append(row)
+    out = []
+    for key in sorted(groups, key=lambda k: tuple(str(v) for v in k)):
+        cells = groups[key]
+        latencies = [float(c["summary"]["mean_latency"]) for c in cells]
+        moves = [int(c["summary"]["moves_completed"]) for c in cells]
+        totals = [int(c["summary"]["total_requests"]) for c in cells]
+        entry = dict(zip(GROUP_KEYS, key))
+        entry.update(
+            seeds=len(cells),
+            mean_latency=sum(latencies) / len(latencies),
+            moves_completed=sum(moves) / len(moves),
+            total_requests=sum(totals) / len(totals),
+        )
+        out.append(entry)
+    return out
+
+
+def render_markdown(rows: Sequence[Mapping]) -> str:
+    """One GitHub-flavored markdown table from :func:`aggregate` output."""
+    header = (
+        "| policy | r | router | limp | seeds | mean latency (s) | moves |\n"
+        "|---|---|---|---|---|---|---|"
+    )
+    lines = [header]
+    for row in rows:
+        lines.append(
+            "| {policy} | {r} | {router} | {limp} | {seeds} | "
+            "{mean_latency:.4f} | {moves_completed:.1f} |".format(
+                policy=row.get("policy", "anu"),
+                r=row.get("r") if row.get("r") is not None else 1,
+                router=row.get("router") or "single",
+                limp=row.get("limp") or "none",
+                seeds=row["seeds"],
+                mean_latency=row["mean_latency"],
+                moves_completed=row["moves_completed"],
+            )
+        )
+    return "\n".join(lines) + "\n"

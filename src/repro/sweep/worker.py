@@ -30,8 +30,10 @@ from ..placement.base import PlacementPolicy
 from ..placement.consistent_hash import ConsistentHashPolicy
 from ..placement.prescient import PrescientPolicy
 from ..placement.round_robin import RoundRobinPolicy
+from ..placement.replicated import ReplicatedPolicy
 from ..placement.simple_random import SimpleRandomPolicy
 from ..placement.two_choice import TwoChoicePolicy
+from ..runtime.routing import ROUTER_FACTORIES
 from ..runtime.scenario import Scenario
 from ..runtime.telemetry import DigestSink
 from ..workloads.synthetic import SyntheticConfig, generate_synthetic
@@ -123,6 +125,8 @@ def _scenario_for(seed: int, params: Mapping[str, object]) -> Scenario:
         "alpha",
         "tuning_interval",
         "limp",
+        "r",
+        "router",
     }
     unknown = sorted(set(params) - known)
     if unknown:
@@ -167,6 +171,21 @@ def _scenario_for(seed: int, params: Mapping[str, object]) -> Scenario:
             policy.grant_oracle(nominal, first_demand)
             return policy
 
+    replication = int(params.get("r", 1))
+    router = str(params.get("router", "single"))
+    if router not in ROUTER_FACTORIES:
+        raise ValueError(
+            f"unknown router {router!r}; known: "
+            f"{', '.join(sorted(ROUTER_FACTORIES))}"
+        )
+    if replication > 1:
+        # Wrap so the row's policy name carries the replication level
+        # ("anu+r2"); the harness derives the same owner sets either way.
+        base_factory = factory
+
+        def factory() -> PlacementPolicy:
+            return ReplicatedPolicy(base_factory(), replication)
+
     return Scenario(
         servers=paper_servers(),
         trace=trace,
@@ -174,6 +193,8 @@ def _scenario_for(seed: int, params: Mapping[str, object]) -> Scenario:
         faults=limp_factory(duration) if limp_factory is not None else None,
         tuning_interval=tuning_interval,
         seed=seed,
+        replication=replication,
+        router=router,
     )
 
 

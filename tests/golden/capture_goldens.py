@@ -52,7 +52,13 @@ def series_hash(series) -> str:
     return hashlib.sha256(blob.encode("utf-8")).hexdigest()
 
 
-def run_cluster(seed: int, faults: FaultSchedule | None = None, telemetry=None):
+def run_cluster(
+    seed: int,
+    faults: FaultSchedule | None = None,
+    telemetry=None,
+    router=None,
+    replication: int = 1,
+):
     trace = generate_synthetic(
         SyntheticConfig(n_filesets=30, n_requests=4000, duration=1000.0, seed=seed)
     )
@@ -60,7 +66,8 @@ def run_cluster(seed: int, faults: FaultSchedule | None = None, telemetry=None):
         servers=paper_servers(), tuning_interval=120.0, sample_window=60.0, seed=seed
     )
     return ClusterSimulation(
-        config, ANUPolicy(), trace, faults, telemetry=telemetry
+        config, ANUPolicy(), trace, faults, telemetry=telemetry,
+        router=router, replication=replication,
     ).run()
 
 
@@ -93,7 +100,7 @@ def cluster_golden(result) -> dict:
     }
 
 
-def run_full_system(seed: int, telemetry=None):
+def run_full_system(seed: int, telemetry=None, router=None, replication: int = 1):
     workload = FsWorkloadConfig(
         n_operations=1500, duration=900.0, seed=seed, popularity_skew=1.2
     )
@@ -103,10 +110,11 @@ def run_full_system(seed: int, telemetry=None):
         FullSystemConfig(
             server_speeds=FS_SPEEDS, fileset_roots=FS_ROOTS,
             tuning_interval=120.0, sample_window=60.0,
-            mean_op_cost=0.2, seed=seed,
+            mean_op_cost=0.2, seed=seed, replication=replication,
         ),
         ops,
         telemetry=telemetry,
+        router=router,
     )
     populate(sim.cluster, workload)
     return sim.run()

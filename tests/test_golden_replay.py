@@ -55,6 +55,65 @@ def test_full_system_matches_pre_refactor_golden():
 
 
 # ----------------------------------------------------------------------
+# The routing plane at r=1 is invisible: SingleOwnerRouter + replication=1
+# must replay the pre-refactor goldens bit-for-bit on every stack.
+# ----------------------------------------------------------------------
+def test_cluster_single_router_matches_golden():
+    from repro.runtime.routing import SingleOwnerRouter
+
+    result = cg.run_cluster(7, router=SingleOwnerRouter(), replication=1)
+    _assert_matches(cg.cluster_golden(result), "cluster_anu_seed7")
+
+
+def test_cluster_single_router_fault_path_matches_golden():
+    from repro.runtime.routing import SingleOwnerRouter
+
+    result = cg.run_cluster(
+        5, cg.cluster_fault_schedule(),
+        router=SingleOwnerRouter(), replication=1,
+    )
+    _assert_matches(cg.cluster_golden(result), "cluster_anu_faults_seed5")
+
+
+def test_full_system_single_router_matches_golden():
+    from repro.runtime.routing import SingleOwnerRouter
+
+    result = cg.run_full_system(
+        11, router=SingleOwnerRouter(), replication=1
+    )
+    _assert_matches(cg.full_system_golden(result), "full_system_seed11")
+
+
+def test_protocol_single_router_replays_identically():
+    from repro import ClusterConfig, paper_servers
+    from repro.runtime.routing import SingleOwnerRouter
+    from repro.workloads import SyntheticConfig, generate_synthetic
+
+    def run(router, replication):
+        trace = generate_synthetic(
+            SyntheticConfig(n_filesets=20, n_requests=1500,
+                            duration=400.0, seed=9)
+        )
+        config = ClusterConfig(
+            servers=paper_servers(), tuning_interval=60.0,
+            sample_window=30.0, seed=9,
+        )
+        return ProtocolDrivenCluster(
+            config, trace, router=router, replication=replication
+        ).run()
+
+    default = run(None, 1)
+    routed = run(SingleOwnerRouter(), 1)
+    a, b = default.run, routed.run
+    assert a.mean_latency == b.mean_latency
+    assert a.completed == b.completed
+    assert a.final_assignment == b.final_assignment
+    assert a.moves_started == b.moves_started
+    assert default.delegate_history == routed.delegate_history
+    assert default.messages_sent == routed.messages_sent
+
+
+# ----------------------------------------------------------------------
 # Telemetry is observational: enabling a sink changes nothing.
 # ----------------------------------------------------------------------
 def test_cluster_telemetry_does_not_perturb_replay():

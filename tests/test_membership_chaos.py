@@ -30,9 +30,10 @@ from repro.membership import (
     MembershipRoster,
     apply_event,
 )
-from repro.placement import ANUPolicy
+from repro.placement import ANUPolicy, ReplicatedPolicy
 from repro.proto import ControlPlane, ProtocolConfig
 from repro.runtime import CallbackSink, MemorySink
+from repro.runtime.routing import make_router
 from repro.units import Seconds
 from repro.workloads import SyntheticConfig, generate_synthetic
 
@@ -288,6 +289,65 @@ def test_chaos_cluster_stack_with_limps(seed):
     assert sum(result.completed.values()) == len(trace)
     assert policy.placement is not None
     policy.placement.check_invariants()
+
+
+@settings(max_examples=6, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=500),
+    replication=st.sampled_from([1, 2, 3]),
+)
+def test_chaos_owner_set_routing(seed, replication):
+    """Replicated ownership under chaos: after any fault-schedule prefix,
+    every dispatched request targets a *currently-live* member of its
+    file set's owner set (slot 0 is always the authoritative owner), the
+    telemetry replica slot indexes that owner set, and request
+    conservation holds at r in {1, 2, 3}.
+    """
+    trace = _trace()
+    faults = FaultInjector(SPEEDS, CHURN, seed=seed).generate(
+        Seconds(trace.duration)
+    )
+    config = ClusterConfig(servers=paper_servers(), tuning_interval=120.0,
+                           sample_window=60.0, seed=1)
+    policy = (ReplicatedPolicy(ANUPolicy(), replication)
+              if replication > 1 else ANUPolicy())
+    dispatched = []
+
+    def _on_record(record):
+        if record.kind == "dispatch":
+            owners = sim.owner_sets()[record.fileset]
+            assert 1 <= len(owners) <= replication
+            assert len(owners) == len(set(owners))
+            assert owners[0] == sim.filesets[record.fileset].owner
+            # The routed target is a live owner-set member, and the
+            # telemetry slot names exactly which replica took it.
+            assert record.server in owners
+            assert owners[record.replica] == record.server
+            assert sim.roster.is_live(record.server)
+            dispatched.append(record)
+        elif record.kind == "membership":
+            sim.check_invariants()
+            live = set(sim.roster.live())
+            # After re-placement every *planned* slot-0 owner is live
+            # (actual ownership may lag while a move is in flight), and
+            # the refreshed replica plane only names live servers — so a
+            # crash orphans a request only when ALL owners are down.
+            for owner in sim.planned_assignment().values():
+                assert owner in live
+            for replicas in sim._replica_owners.values():
+                assert set(replicas) <= live
+
+    sim = ClusterSimulation(
+        config, policy, trace, faults,
+        telemetry=CallbackSink(_on_record),
+        router=make_router("jsq2"), replication=replication,
+    )
+    result = sim.run()
+
+    # Request conservation: nothing lost, nothing duplicated.
+    assert result.total_requests == len(trace)
+    assert sum(result.completed.values()) == len(trace)
+    assert len(dispatched) >= len(trace)
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,292 @@
+"""Tests for the routing plane: routers, owner sets, and the two-plane split.
+
+Covers the :mod:`repro.runtime.routing` router family (passthrough
+identity, JSQ(d) queue choice, weighted-power-of-d limp discovery, the
+registry), the assignment-plane owner-set machinery
+(:mod:`repro.placement.replicated`, :func:`~repro.core.movement.diff_owner_sets`,
+:meth:`~repro.core.anu.ANUPlacement.locate_owner_set`), and the wiring of
+both planes through the queueing harness.
+"""
+
+import numpy as np
+import pytest
+
+from repro import ClusterConfig, ClusterSimulation, SyntheticConfig, \
+    generate_synthetic, paper_servers
+from repro.core.anu import ANUPlacement
+from repro.core.hashing import hash_to_choice, hash_to_distinct_choices
+from repro.core.movement import Move, diff_assignment, diff_owner_sets
+from repro.placement import (
+    ANUPolicy,
+    ReplicatedPolicy,
+    derive_owner_set,
+    derive_owner_sets,
+    normalize_owner_set,
+    normalize_owner_sets,
+    validate_owner_sets,
+)
+from repro.runtime.routing import (
+    ROUTER_FACTORIES,
+    JSQRouter,
+    SingleOwnerRouter,
+    WeightedPowerOfDRouter,
+    make_router,
+)
+from repro.runtime.telemetry import CallbackSink
+
+SERVERS = [f"s{i}" for i in range(6)]
+FILESETS = [f"fs{i:04d}" for i in range(200)]
+
+
+# ----------------------------------------------------------------------
+# Routers
+# ----------------------------------------------------------------------
+def test_single_owner_router_is_pure_slot_zero():
+    router = SingleOwnerRouter()
+    # Never bound, never draws, never reads a queue.
+    for candidates in (["a"], ["a", "b"], ["c", "a", "b"]):
+        assert router.choose("fs", candidates, lambda s: 99) == 0
+
+
+def test_jsq_picks_shortest_queue_with_slot_order_ties():
+    router = JSQRouter(d=3)
+    queues = {"a": 4, "b": 1, "c": 1}
+    # d >= candidate count: no sampling, no rng needed.
+    assert router.choose("fs", ["a", "b", "c"], queues.__getitem__) == 1
+    # Tie between b and c resolves to the lower slot.
+    queues = {"a": 1, "b": 1, "c": 0}
+    assert router.choose("fs", ["a", "b", "c"], queues.__getitem__) == 2
+
+
+def test_jsq_sampling_requires_bound_stream():
+    router = JSQRouter(d=2)
+    with pytest.raises(RuntimeError):
+        router.choose("fs", ["a", "b", "c"], lambda s: 0)
+    router.bind(np.random.default_rng(0))
+    idx = router.choose("fs", ["a", "b", "c"], lambda s: 0)
+    assert idx in (0, 1, 2)
+
+
+def test_jsq_sampling_is_deterministic_per_stream():
+    def picks(seed):
+        router = JSQRouter(d=2)
+        router.bind(np.random.default_rng(seed))
+        return [
+            router.choose("fs", ["a", "b", "c", "d"], lambda s: 0)
+            for _ in range(50)
+        ]
+
+    assert picks(7) == picks(7)
+    assert picks(7) != picks(8)
+
+
+def test_weighted_router_discovers_limp_from_latency():
+    """With equal queues, the router steers away from the server whose
+    observed completions are slow — limp discovery from latency alone."""
+    router = WeightedPowerOfDRouter(d=2)
+    for _ in range(10):
+        router.observe("slow", 5.0)
+        router.observe("fast", 0.1)
+    idx = router.choose("fs", ["slow", "fast"], lambda s: 3)
+    assert idx == 1
+
+
+def test_weighted_router_explores_unobserved_servers_first():
+    router = WeightedPowerOfDRouter(d=2)
+    router.observe("seen", 0.5)
+    # "fresh" has no EWMA yet -> scores as infinitely fast.
+    assert router.choose("fs", ["seen", "fresh"], lambda s: 1) == 1
+
+
+def test_weighted_router_ewma_folds_observations():
+    router = WeightedPowerOfDRouter(d=2, decay=0.5)
+    router.observe("a", 1.0)
+    router.observe("a", 3.0)
+    assert router._ewma["a"] == pytest.approx(2.0)
+
+
+def test_router_registry_round_trip():
+    for name in ROUTER_FACTORIES:
+        router = make_router(name)
+        assert router.name == name
+        # Factories build fresh instances (routers are stateful).
+        assert make_router(name) is not router
+    with pytest.raises(ValueError):
+        make_router("nope")
+
+
+def test_router_validation():
+    with pytest.raises(ValueError):
+        JSQRouter(d=0)
+    with pytest.raises(ValueError):
+        WeightedPowerOfDRouter(decay=0.0)
+
+
+# ----------------------------------------------------------------------
+# Distinct hashing
+# ----------------------------------------------------------------------
+def test_distinct_choices_are_distinct_and_deterministic():
+    for name in FILESETS:
+        picks = hash_to_distinct_choices(name, 3, 6)
+        assert len(picks) == len(set(picks)) == 3
+        assert picks == hash_to_distinct_choices(name, 3, 6)
+
+
+def test_distinct_choices_first_draw_matches_classic_hash():
+    for name in FILESETS:
+        assert hash_to_distinct_choices(name, 2, 8)[0] == hash_to_choice(
+            name, 0, 8
+        )
+
+
+def test_distinct_choices_clamp_to_population():
+    assert sorted(hash_to_distinct_choices("x", 10, 4)) == [0, 1, 2, 3]
+
+
+# ----------------------------------------------------------------------
+# Owner sets (assignment plane)
+# ----------------------------------------------------------------------
+def test_derive_owner_sets_r1_is_identity():
+    primary = {name: SERVERS[i % 6] for i, name in enumerate(FILESETS)}
+    sets = derive_owner_sets(primary, SERVERS, 1)
+    assert sets == {name: (owner,) for name, owner in primary.items()}
+
+
+def test_derive_owner_sets_slot_zero_is_primary():
+    primary = {name: SERVERS[i % 6] for i, name in enumerate(FILESETS)}
+    sets = derive_owner_sets(primary, SERVERS, 3)
+    for name, owners in sets.items():
+        assert owners[0] == primary[name]
+        assert len(owners) == len(set(owners)) == 3
+        assert set(owners) <= set(SERVERS)
+    validate_owner_sets(sets, FILESETS, SERVERS, replication=3)
+
+
+def test_derive_owner_set_single_matches_bulk():
+    primary = {name: SERVERS[i % 6] for i, name in enumerate(FILESETS)}
+    bulk = derive_owner_sets(primary, SERVERS, 2)
+    for name in FILESETS:
+        assert bulk[name] == derive_owner_set(
+            name, primary[name], sorted(SERVERS), 2
+        )
+
+
+def test_anu_locate_owner_set_slot_zero_matches_locate():
+    placement = ANUPlacement(SERVERS)
+    for name in FILESETS:
+        owners = placement.locate_owner_set(name, 3)
+        assert owners[0] == placement.locate(name)
+        assert len(owners) == len(set(owners)) == 3
+
+
+def test_replicated_policy_wraps_transparently():
+    base = ANUPolicy()
+    wrapped = ReplicatedPolicy(ANUPolicy(), 2)
+    assert wrapped.name == "anu+r2"
+    a = base.initial_assignment(FILESETS, SERVERS)
+    b = wrapped.initial_assignment(FILESETS, SERVERS)
+    assert a == b
+    sets = wrapped.owner_sets(b, SERVERS)
+    for name, owners in sets.items():
+        assert owners[0] == b[name]
+        assert len(owners) == 2
+    with pytest.raises(ValueError):
+        ReplicatedPolicy(ANUPolicy(), 0)
+
+
+def test_owner_set_normalization_and_validation():
+    assert normalize_owner_set("a") == ("a",)
+    assert normalize_owner_set(("a", "b")) == ("a", "b")
+    with pytest.raises(ValueError):
+        normalize_owner_set(())
+    with pytest.raises(ValueError):
+        normalize_owner_set(("a", "a"))
+    assert normalize_owner_sets({"fs": "a"}) == {"fs": ("a",)}
+    with pytest.raises(ValueError):
+        validate_owner_sets({"fs": ("ghost",)}, ["fs"], ["a"])
+
+
+# ----------------------------------------------------------------------
+# Slot-wise diffs
+# ----------------------------------------------------------------------
+def test_diff_owner_sets_equals_diff_assignment_for_str_maps():
+    old = {"f1": "a", "f2": "b", "f3": "c"}
+    new = {"f1": "a", "f2": "c", "f3": "a"}
+    assert diff_owner_sets(old, new) == diff_assignment(old, new)
+
+
+def test_diff_owner_sets_emits_slot_moves():
+    old = {"f1": ("a", "b")}
+    new = {"f1": ("a", "c")}
+    diff = diff_owner_sets(old, new)
+    assert diff.moves == (Move("f1", "b", "c", slot=1),)
+    # A brand-new replica slot appears as a move from nowhere.
+    grown = diff_owner_sets({"f1": ("a",)}, {"f1": ("a", "c")})
+    assert grown.moves == (Move("f1", None, "c", slot=1),)
+
+
+# ----------------------------------------------------------------------
+# Harness wiring
+# ----------------------------------------------------------------------
+def _small_trace(seed=3):
+    return generate_synthetic(
+        SyntheticConfig(n_filesets=20, n_requests=1200, duration=400.0,
+                        seed=seed)
+    )
+
+
+def test_cluster_r1_explicit_router_is_byte_identical():
+    """SingleOwnerRouter + r=1 reproduces the default dispatch exactly."""
+    trace = _small_trace()
+    config = ClusterConfig(servers=paper_servers(), seed=7)
+    base = ClusterSimulation(config, ANUPolicy(), trace).run()
+    routed = ClusterSimulation(
+        config, ANUPolicy(), trace,
+        router=make_router("single"), replication=1,
+    ).run()
+    assert routed.mean_latency == base.mean_latency
+    assert routed.completed == base.completed
+    assert routed.utilization == base.utilization
+    assert routed.final_assignment == base.final_assignment
+
+
+def test_cluster_routed_dispatch_targets_owner_set_members():
+    """Every dispatched request lands on a member of its file set's
+    owner set, the telemetry record carries (router, replica), and no
+    request is lost."""
+    trace = _small_trace()
+    sim_box = {}
+    dispatches = []
+
+    def _on_record(record):
+        if record.kind != "dispatch":
+            return
+        owners = sim_box["sim"].owner_sets()[record.fileset]
+        assert record.server in owners
+        assert owners[record.replica] == record.server
+        assert record.router == "jsq2"
+        dispatches.append(record)
+
+    sim = ClusterSimulation(
+        ClusterConfig(servers=paper_servers(), seed=7),
+        ReplicatedPolicy(ANUPolicy(), 2), trace,
+        telemetry=CallbackSink(_on_record),
+        router=make_router("jsq2"), replication=2,
+    )
+    sim_box["sim"] = sim
+    result = sim.run()
+    assert sum(result.completed.values()) == len(trace)
+    assert len(dispatches) >= len(trace)
+    # The router actually used the replica plane, not just slot 0.
+    assert {r.replica for r in dispatches} == {0, 1}
+
+
+def test_cluster_owner_sets_view_shapes():
+    trace = _small_trace()
+    sim = ClusterSimulation(
+        ClusterConfig(servers=paper_servers(), seed=7),
+        ANUPolicy(), trace, replication=2,
+    )
+    for name, owners in sim.owner_sets().items():
+        assert owners[0] == sim.filesets[name].owner
+        assert len(owners) == len(set(owners)) == 2

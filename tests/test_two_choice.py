@@ -59,6 +59,35 @@ def test_no_servers_rejected():
         TwoChoicePolicy().initial_assignment(FILESETS, [])
 
 
+def test_candidates_are_distinct_even_where_rounds_collide():
+    """Regression: independent hash rounds collapsed d=2 to d=1.
+
+    ``_candidates`` used to take rounds 0 and 1 of ``hash_to_choice`` as
+    its two draws; for roughly 1/n of names both rounds land on the same
+    server, silently degrading those names to single-choice placement.
+    The distinct sampler must keep both choices real exactly where the
+    old scheme collided.
+    """
+    from repro.core.hashing import hash_to_choice
+
+    pol = TwoChoicePolicy()
+    ordered = sorted(SERVERS)
+    n = len(ordered)
+    collided = [
+        name for name in FILESETS
+        if hash_to_choice(name, 0, n, pol.namespace)
+        == hash_to_choice(name, 1, n, pol.namespace)
+    ]
+    # The regression is only meaningful if the old scheme actually
+    # collided somewhere in this universe (expected ~100 of 800 at n=8).
+    assert collided
+    for name in collided:
+        a, b = pol._candidates(name, ordered)
+        assert a != b
+    # Degenerate one-server fleet: the only server, twice.
+    assert pol._candidates("fs0000", ["only"]) == ("only", "only")
+
+
 def test_membership_change_moves_only_orphans():
     pol = TwoChoicePolicy()
     a = pol.initial_assignment(FILESETS, SERVERS)
